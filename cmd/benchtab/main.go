@@ -1,0 +1,70 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation section as text, in the order they appear in the paper.
+//
+// Usage:
+//
+//	benchtab [-scale small|default|full] [-seed N] [-alpha-sweep] [-gt-only]
+//
+// The default scale matches EXPERIMENTS.md (300 taxis, 75 regions); -scale
+// full runs the paper's 20,130-taxi fleet and takes hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/report"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "experiment scale: small, default, or full")
+	seed := flag.Int64("seed", 42, "master random seed")
+	sweep := flag.Bool("alpha-sweep", true, "run the Table IV alpha sweep (adds six training runs)")
+	gtOnly := flag.Bool("gt-only", false, "only run ground truth and print the data-driven findings (Figs. 3-8)")
+	flag.Parse()
+
+	var sc report.Scale
+	switch *scale {
+	case "small":
+		sc = report.ScaleSmall
+	case "default":
+		sc = report.ScaleDefault
+	case "full":
+		sc = report.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "benchtab: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg := report.DefaultConfig(*seed, sc)
+
+	start := time.Now()
+	if *gtOnly {
+		b, err := report.RunGTOnly(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab:", err)
+			os.Exit(1)
+		}
+		fmt.Println(b.Fig3())
+		fmt.Println(b.Fig4())
+		fmt.Println(b.Fig5())
+		fmt.Println(b.Fig6())
+		fmt.Println(b.Fig7())
+		fmt.Println(b.Fig8())
+		fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Second))
+		return
+	}
+
+	var alphas []float64
+	if *sweep {
+		alphas = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	b, err := report.RunFull(cfg, alphas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+	fmt.Println(b.FormatAll())
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunWritesReadableDataset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 9, 1, 60, 30, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	gpsF, err := os.Open(filepath.Join(dir, "gps.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gpsF.Close()
+	gps, err := trace.ReadGPS(gpsF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One fix per taxi per slot: 60 taxis × 144 slots.
+	if len(gps) != 60*144 {
+		t.Fatalf("GPS rows = %d, want %d", len(gps), 60*144)
+	}
+	occupied := 0
+	for _, r := range gps {
+		if r.VehicleID < 0 || r.VehicleID >= 60 {
+			t.Fatalf("invalid vehicle id %d", r.VehicleID)
+		}
+		if r.Occupied {
+			occupied++
+		}
+	}
+	if occupied == 0 {
+		t.Fatal("no occupied GPS fixes — trips missing from the stream")
+	}
+
+	txF, err := os.Open(filepath.Join(dir, "transactions.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txF.Close()
+	txs, err := trace.ReadTransactions(txF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txs) == 0 {
+		t.Fatal("no transactions")
+	}
+	for _, tx := range txs {
+		if tx.DropoffMin <= tx.PickupMin {
+			t.Fatalf("non-positive trip duration: %+v", tx)
+		}
+		if tx.FareCNY <= 0 || tx.OperatingKm <= 0 {
+			t.Fatalf("degenerate transaction: %+v", tx)
+		}
+	}
+
+	chF, err := os.Open(filepath.Join(dir, "charging.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer chF.Close()
+	evs, err := trace.ReadChargingEvents(chF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		if ev.StationID < 0 || ev.StationID >= 8 {
+			t.Fatalf("invalid station in charging event: %+v", ev)
+		}
+		if ev.ChargeMin() <= 0 {
+			t.Fatalf("non-positive charge duration: %+v", ev)
+		}
+	}
+
+	stF, err := os.Open(filepath.Join(dir, "stations.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stF.Close()
+	metas, err := trace.ReadStationMeta(stF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 8 {
+		t.Fatalf("station metadata rows = %d, want 8", len(metas))
+	}
+}
+
+func TestRunRejectsBadCity(t *testing.T) {
+	if err := run(t.TempDir(), 1, 1, 0, 30, 8); err == nil {
+		t.Fatal("zero fleet accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Command fairmove trains and evaluates the FairMove displacement system.
+//
+// Subcommands:
+//
+//	fairmove train   [-seed N] [-fleet N] [-alpha A] [-episodes N] [-model FILE]
+//	fairmove eval    [-seed N] [-fleet N] [-method M] [-model FILE]
+//	fairmove compare [-seed N] [-fleet N] [-alpha A]
+//
+// `train` trains CMA2C and optionally saves the networks; `eval` evaluates
+// one strategy (loading a saved model for FairMove if given); `compare`
+// runs all six strategies on identical demand and prints the paper's
+// headline metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	fairmove "repro"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fairmove:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: fairmove <train|eval|compare> [flags]")
+}
+
+func commonFlags(fs *flag.FlagSet) (*int64, *int, *float64) {
+	seed := fs.Int64("seed", 42, "master random seed")
+	fleet := fs.Int("fleet", 300, "fleet size (regions/stations scale with it)")
+	alpha := fs.Float64("alpha", 0.6, "efficiency/fairness weight α")
+	return seed, fleet, alpha
+}
+
+func newSystem(seed int64, fleet int, alpha float64, episodes int) (*fairmove.System, error) {
+	cfg := fairmove.DefaultConfig(seed)
+	cfg.Fleet = fleet
+	cfg.Alpha = alpha
+	if episodes > 0 {
+		cfg.TrainEpisodes = episodes
+	}
+	return fairmove.NewSystem(cfg)
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	seed, fleet, alpha := commonFlags(fs)
+	episodes := fs.Int("episodes", 6, "fine-tuning episodes")
+	model := fs.String("model", "", "path to save the trained networks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := newSystem(*seed, *fleet, *alpha, *episodes)
+	if err != nil {
+		return err
+	}
+	rep := s.Train()
+	fmt.Printf("trained %d episodes, %d transitions\n", rep.Episodes, rep.Transitions)
+	for i, r := range rep.MeanReward {
+		fmt.Printf("  episode %d: mean reward %.3f critic loss %.5f\n", i+1, r, rep.CriticLoss[i])
+	}
+	if *model != "" {
+		f, err := os.Create(*model)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := s.SaveModel(f); err != nil {
+			return err
+		}
+		fmt.Printf("model saved to %s\n", *model)
+	}
+	return nil
+}
+
+func cmdEval(args []string) error {
+	fs := flag.NewFlagSet("eval", flag.ExitOnError)
+	seed, fleet, alpha := commonFlags(fs)
+	method := fs.String("method", "FairMove", "strategy: GT, SD2, TQL, DQN, TBA, or FairMove")
+	model := fs.String("model", "", "saved FairMove model to load instead of training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := newSystem(*seed, *fleet, *alpha, 0)
+	if err != nil {
+		return err
+	}
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := s.LoadModel(f); err != nil {
+			return err
+		}
+	}
+	rep, err := s.Evaluate(fairmove.Method(*method))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: meanPE=%.2f medianPE=%.2f PF=%.2f gini=%.3f\n",
+		rep.Method, rep.MeanPE, rep.MedianPE, rep.PF, rep.GiniPE)
+	fmt.Printf("  served=%d unserved=%d profit=%.0f CNY charges=%d\n",
+		rep.ServedRequests, rep.UnservedRequests, rep.FleetProfitCNY, rep.ChargeEvents)
+	fmt.Printf("  median cruise=%.1f min, median idle=%.1f min\n",
+		rep.MedianCruiseMin, rep.MedianIdleMin)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	seed, fleet, alpha := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := newSystem(*seed, *fleet, *alpha, 0)
+	if err != nil {
+		return err
+	}
+	cmps, err := s.CompareAll()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %8s %8s %8s %8s %8s %9s\n", "method", "PRCT", "PRIT", "PIPE", "PIPF", "meanPE", "PF")
+	for _, c := range cmps {
+		fmt.Printf("%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.2f %9.2f\n",
+			c.Method, c.PRCT, c.PRIT, c.PIPE, c.PIPF, c.MeanPE, c.PF)
+	}
+	return nil
+}

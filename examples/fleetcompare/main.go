@@ -1,0 +1,43 @@
+// Fleetcompare runs the paper's full six-way strategy comparison (ground
+// truth, SD2, TQL, DQN, TBA, FairMove) on identical demand and prints the
+// headline metrics of Tables II-III and Figs. 15-16.
+//
+//	go run ./examples/fleetcompare
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	fairmove "repro"
+)
+
+func main() {
+	cfg := fairmove.DefaultConfig(42)
+	cfg.Fleet = 200 // keep the example under a few minutes
+	cfg.TrainEpisodes = 4
+
+	sys, err := fairmove.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("comparing %d strategies on a %d-taxi fleet (training included)...\n",
+		len(fairmove.Methods()), cfg.Fleet)
+	start := time.Now()
+	cmps, err := sys.CompareAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-10s %8s %8s %8s %8s %8s %9s %7s\n",
+		"method", "PRCT", "PRIT", "PIPE", "PIPF", "meanPE", "PF", "served")
+	for _, c := range cmps {
+		fmt.Printf("%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.2f %9.2f %7d\n",
+			c.Method, c.PRCT, c.PRIT, c.PIPE, c.PIPF, c.MeanPE, c.PF, c.ServedRequests)
+	}
+	fmt.Printf("\nelapsed: %v\n", time.Since(start).Round(time.Second))
+	fmt.Println("paper shape: FairMove best everywhere (PRCT 32.1%, PRIT 43.3%,")
+	fmt.Println("PIPE 25.2%, PIPF 54.7%); DQN second; SD2 negative PRIT and PIPE.")
+}

@@ -1,0 +1,443 @@
+// Package core implements the paper's contribution: the FairMove
+// displacement system built on a Centralized Multi-Agent Actor-Critic
+// (CMA2C, Section III-D). One shared policy network (actor) and one shared
+// value network (critic) serve every e-taxi agent; the critic is trained on
+// the Bellman loss against a target network (Eq. 6-7) and the actor follows
+// advantage-weighted policy gradients where the advantage is the TD error
+// (Eq. 8-11, Algorithm 1). The reward blends profit efficiency and profit
+// fairness with the weight α (Eq. 4-5).
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/policy"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// Config holds the CMA2C hyperparameters. Defaults follow Section IV-A:
+// Adam with learning rate 0.001 and discount β = 0.9; the weight α = 0.6 is
+// the value the sensitivity study (Table IV) selects.
+type Config struct {
+	Alpha       float64 // efficiency/fairness blend α ∈ [0, 1]
+	Gamma       float64 // discount β
+	ActorLR     float64
+	CriticLR    float64
+	Hidden      []int   // hidden widths for both networks
+	EntropyCoef float64 // exploration bonus on the actor
+	Batch       int     // minibatch size for the M update iterations
+	UpdateIters int     // M of Algorithm 1
+	Seed        int64
+}
+
+// DefaultConfig returns the paper's hyperparameters at repro scale.
+func DefaultConfig(alpha float64, seed int64) Config {
+	return Config{
+		Alpha:       alpha,
+		Gamma:       0.9,
+		ActorLR:     0.001,
+		CriticLR:    0.001,
+		Hidden:      []int{64, 64},
+		EntropyCoef: 0.002,
+		Batch:       64,
+		UpdateIters: 300,
+		Seed:        seed,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: alpha must be in [0,1], got %v", c.Alpha)
+	}
+	if c.Gamma < 0 || c.Gamma >= 1 {
+		return fmt.Errorf("core: gamma must be in [0,1), got %v", c.Gamma)
+	}
+	if c.ActorLR <= 0 || c.CriticLR <= 0 {
+		return fmt.Errorf("core: learning rates must be positive")
+	}
+	if c.Batch <= 0 || c.UpdateIters <= 0 {
+		return fmt.Errorf("core: batch and update iterations must be positive")
+	}
+	return nil
+}
+
+// FairMove is the trained displacement system. It implements
+// policy.Policy, so it is evaluated exactly like the baselines.
+type FairMove struct {
+	cfg Config
+
+	actor        *nn.MLP
+	critic       *nn.MLP
+	targetCritic *nn.MLP
+	actorOpt     *nn.Adam
+	criticOpt    *nn.Adam
+
+	src       *rng.Source
+	exploring bool
+
+	// demo holds demonstration transitions from Pretrain; Train replays
+	// behavior-cloning batches from it between policy-gradient updates to
+	// anchor the actor against collapse (in the spirit of DQfD).
+	demo []policy.Transition
+}
+
+// New creates an untrained FairMove system.
+func New(cfg Config) (*FairMove, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Hidden) == 0 {
+		cfg.Hidden = []int{64, 64}
+	}
+	src := rng.SplitStable(cfg.Seed, "cma2c-init")
+	actorSizes := append([]int{sim.FeatureSize}, cfg.Hidden...)
+	actorSizes = append(actorSizes, sim.NumActions)
+	criticSizes := append([]int{sim.FeatureSize}, cfg.Hidden...)
+	criticSizes = append(criticSizes, 1)
+	f := &FairMove{
+		cfg:       cfg,
+		actor:     nn.NewMLP(src, actorSizes, nn.Tanh, nn.Identity),
+		critic:    nn.NewMLP(src, criticSizes, nn.Tanh, nn.Identity),
+		actorOpt:  nn.NewAdam(cfg.ActorLR),
+		criticOpt: nn.NewAdam(cfg.CriticLR),
+		src:       src,
+	}
+	f.targetCritic = f.critic.Clone()
+	return f, nil
+}
+
+// Name implements policy.Policy.
+func (f *FairMove) Name() string { return "FairMove" }
+
+// Config returns the hyperparameters.
+func (f *FairMove) Config() Config { return f.cfg }
+
+// BeginEpisode implements policy.Policy.
+func (f *FairMove) BeginEpisode(seed int64) { f.src = rng.SplitStable(seed, "cma2c") }
+
+// probs evaluates the masked policy distribution for one observation.
+func (f *FairMove) probs(obs sim.Observation) []float64 {
+	logits := f.actor.Forward1(obs.Features)
+	mask := make([]bool, sim.NumActions)
+	for i := range mask {
+		mask[i] = obs.Mask[i]
+	}
+	return nn.Softmax(logits, mask)
+}
+
+// choose samples an action from the stochastic policy. Execution stays
+// stochastic at evaluation time too: agents in the same region share an
+// observation, so a deterministic argmax would send them all to the same
+// station or neighbor (herding), while sampling from π disperses them — the
+// intended behavior of executing a learned stochastic policy.
+func (f *FairMove) choose(obs sim.Observation) int {
+	return f.src.WeightedChoice(f.probs(obs))
+}
+
+// Act implements policy.Policy: centralized training, decentralized
+// execution — each agent queries the shared actor on its own observation.
+func (f *FairMove) Act(env *sim.Env, vacant []int) map[int]sim.Action {
+	actions := make(map[int]sim.Action, len(vacant))
+	for _, id := range vacant {
+		actions[id] = sim.ActionFromIndex(f.choose(env.Observe(id)))
+	}
+	return actions
+}
+
+// value evaluates a critic network on one observation.
+func value(net *nn.MLP, obs []float64) float64 { return net.Forward1(obs)[0] }
+
+// TrainStats records per-episode training diagnostics.
+type TrainStats struct {
+	Episodes    int
+	MeanReward  []float64 // per-episode mean decision reward (Table IV's r)
+	CriticLoss  []float64 // per-episode mean critic loss
+	MeanAdvAbs  []float64 // per-episode mean |advantage|
+	Transitions int
+	PolicyEnt   float64 // final mean policy entropy over a sample
+}
+
+// Train runs Algorithm 1 for the given number of episodes, each simulating
+// `days` of fleet operation on city. The same seed always reproduces the
+// same training trajectory.
+func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) TrainStats {
+	stats := TrainStats{Episodes: episodes}
+	env := sim.New(city, sim.DefaultOptions(days), seed)
+
+	// When a warm start is present, fine-tuning polishes rather than
+	// re-learns: the actor steps an order of magnitude smaller so the noisy
+	// semi-MDP advantages adjust the demonstrated policy instead of
+	// overwriting it.
+	if len(f.demo) > 0 {
+		f.actorOpt = nn.NewAdam(f.cfg.ActorLR * 0.1)
+	}
+
+	for ep := 0; ep < episodes; ep++ {
+		epSeed := seed + int64(ep)
+		env.Reset(epSeed)
+		f.BeginEpisode(epSeed)
+		f.exploring = true
+
+		// Lines 3-7 of Algorithm 1: roll out the joint policy, storing the
+		// transitions of all active e-taxis.
+		var buf []policy.Transition
+		mean := policy.RunEpisode(env,
+			func(id int, obs sim.Observation) int { return f.choose(obs) },
+			f.cfg.Alpha, f.cfg.Gamma,
+			func(id int, tr policy.Transition) { buf = append(buf, tr) },
+		)
+		stats.MeanReward = append(stats.MeanReward, mean)
+		stats.Transitions += len(buf)
+		if len(buf) == 0 {
+			stats.CriticLoss = append(stats.CriticLoss, 0)
+			stats.MeanAdvAbs = append(stats.MeanAdvAbs, 0)
+			continue
+		}
+
+		// Lines 8-10: M iterations of minibatch updates.
+		var lossSum, advSum float64
+		var nUpd int
+		batch := f.cfg.Batch
+		if batch > len(buf) {
+			batch = len(buf)
+		}
+		for it := 0; it < f.cfg.UpdateIters; it++ {
+			idxs := make([]int, batch)
+			for b := range idxs {
+				idxs[b] = f.src.Intn(len(buf))
+			}
+			lossSum += f.updateCritic(buf, idxs)
+			advSum += f.updateActor(buf, idxs)
+			nUpd++
+			// Demonstration anchor: every few policy-gradient steps, one
+			// behavior-cloning step on Pretrain data keeps the actor from
+			// drifting into degenerate corners of the action space while
+			// the advantage estimates are still noisy.
+			if len(f.demo) >= batch && it%2 == 1 {
+				didxs := make([]int, batch)
+				for b := range didxs {
+					didxs[b] = f.src.Intn(len(f.demo))
+				}
+				f.cloneActor(f.demo, didxs)
+			}
+		}
+		stats.CriticLoss = append(stats.CriticLoss, lossSum/float64(nUpd))
+		stats.MeanAdvAbs = append(stats.MeanAdvAbs, advSum/float64(nUpd))
+
+		// Target network hard update per episode (Eq. 7's θv').
+		f.targetCritic.CopyWeightsFrom(f.critic)
+	}
+	f.exploring = false
+	return stats
+}
+
+// Pretrain warm-starts the system from demonstration episodes driven by
+// guide (typically ground-truth driver behavior): the critic learns V by
+// TD regression on the demonstration transitions, and the actor is
+// behavior-cloned toward the demonstrated actions (cross-entropy = policy
+// gradient with unit advantage). RL fine-tuning in Train then improves on
+// the demonstrated behavior rather than exploring from scratch — without
+// it, random multi-agent exploration floods charging stations for many
+// episodes before any signal emerges.
+func (f *FairMove) Pretrain(city *synth.City, guide policy.Policy, episodes, days int, seed int64) {
+	env := sim.New(city, sim.DefaultOptions(days), seed)
+	for ep := 0; ep < episodes; ep++ {
+		epSeed := seed + 7000 + int64(ep)
+		env.Reset(epSeed)
+		guide.BeginEpisode(epSeed)
+		f.BeginEpisode(epSeed)
+		var buf []policy.Transition
+		chooser := policy.PolicyChooser(env, guide)
+		policy.RunEpisode(env,
+			func(id int, obs sim.Observation) int { return chooser(id, obs) },
+			f.cfg.Alpha, f.cfg.Gamma,
+			func(id int, tr policy.Transition) { buf = append(buf, tr) },
+		)
+		if len(buf) == 0 {
+			continue
+		}
+		batch := f.cfg.Batch
+		if batch > len(buf) {
+			batch = len(buf)
+		}
+		iters := len(buf) / batch * 2
+		for it := 0; it < iters; it++ {
+			idxs := make([]int, batch)
+			for b := range idxs {
+				idxs[b] = f.src.Intn(len(buf))
+			}
+			f.updateCritic(buf, idxs)
+			f.cloneActor(buf, idxs)
+		}
+		f.targetCritic.CopyWeightsFrom(f.critic)
+		f.demo = append(f.demo, buf...)
+	}
+}
+
+// cloneActor takes one behavior-cloning step toward the demonstrated
+// actions of a minibatch.
+func (f *FairMove) cloneActor(buf []policy.Transition, idxs []int) {
+	n := len(idxs)
+	f.actor.ZeroGrad()
+	x := nn.NewMat(n, sim.FeatureSize)
+	for b, i := range idxs {
+		copy(x.Row(b), buf[i].Obs)
+	}
+	logits := f.actor.Forward(x, true)
+	grad := nn.NewMat(n, sim.NumActions)
+	for b, i := range idxs {
+		tr := buf[i]
+		mask := make([]bool, sim.NumActions)
+		for j := range mask {
+			mask[j] = tr.Mask[j]
+		}
+		pg := nn.PolicyGradient(logits.Row(b), mask, tr.Action, 1.0)
+		row := grad.Row(b)
+		for j := range row {
+			row[j] = pg[j] / float64(n)
+		}
+	}
+	f.actor.Backward(grad)
+	_, grads := f.actor.Params()
+	nn.ClipGrads(grads, 5)
+	f.actorOpt.Step(f.actor)
+}
+
+// tdTarget computes r + β^elapsed · V'(s') (Eq. 7/10), zero bootstrap at
+// the horizon.
+func (f *FairMove) tdTarget(tr policy.Transition) float64 {
+	y := tr.Reward
+	if !tr.Terminal {
+		y += math.Pow(f.cfg.Gamma, float64(tr.Elapsed)) * value(f.targetCritic, tr.NextObs)
+	}
+	return y
+}
+
+// updateCritic takes one minibatch step on L(θv) = (V(s) − y)² (Eq. 6) and
+// returns the batch loss.
+func (f *FairMove) updateCritic(buf []policy.Transition, idxs []int) float64 {
+	n := len(idxs)
+	x := nn.NewMat(n, sim.FeatureSize)
+	y := nn.NewMat(n, 1)
+	for b, i := range idxs {
+		copy(x.Row(b), buf[i].Obs)
+		y.Set(b, 0, f.tdTarget(buf[i]))
+	}
+	f.critic.ZeroGrad()
+	pred := f.critic.Forward(x, true)
+	loss, grad := nn.MSELoss(pred, y)
+	f.critic.Backward(grad)
+	_, grads := f.critic.Params()
+	nn.ClipGrads(grads, 5)
+	f.criticOpt.Step(f.critic)
+	return loss
+}
+
+// updateActor takes one minibatch policy-gradient step with the TD-error
+// advantage (Eq. 8-11) plus an entropy bonus, and returns the mean |A|.
+// Advantages are standardized within the batch and clipped — without this,
+// the noisy semi-MDP advantages random-walk the logits of rarely compared
+// actions (the five station ranks) until the softmax saturates on an
+// arbitrary one.
+func (f *FairMove) updateActor(buf []policy.Transition, idxs []int) float64 {
+	n := len(idxs)
+	f.actor.ZeroGrad()
+	x := nn.NewMat(n, sim.FeatureSize)
+	for b, i := range idxs {
+		copy(x.Row(b), buf[i].Obs)
+	}
+	logits := f.actor.Forward(x, true)
+
+	advs := make([]float64, n)
+	var mean float64
+	for b, i := range idxs {
+		advs[b] = f.tdTarget(buf[i]) - value(f.critic, buf[i].Obs)
+		mean += advs[b]
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, a := range advs {
+		variance += (a - mean) * (a - mean)
+	}
+	std := math.Sqrt(variance/float64(n)) + 1e-6
+	var advAbs float64
+	for b := range advs {
+		advAbs += math.Abs(advs[b])
+		advs[b] = (advs[b] - mean) / std
+		if advs[b] > 3 {
+			advs[b] = 3
+		}
+		if advs[b] < -3 {
+			advs[b] = -3
+		}
+	}
+
+	grad := nn.NewMat(n, sim.NumActions)
+	for b, i := range idxs {
+		tr := buf[i]
+		mask := make([]bool, sim.NumActions)
+		for j := range mask {
+			mask[j] = tr.Mask[j]
+		}
+		pg := nn.PolicyGradient(logits.Row(b), mask, tr.Action, advs[b])
+		eg := nn.EntropyBonusGradient(logits.Row(b), mask, f.cfg.EntropyCoef)
+		row := grad.Row(b)
+		for j := range row {
+			row[j] = (pg[j] + eg[j]) / float64(n)
+		}
+	}
+	f.actor.Backward(grad)
+	_, grads := f.actor.Params()
+	nn.ClipGrads(grads, 5)
+	f.actorOpt.Step(f.actor)
+	return advAbs / float64(n)
+}
+
+// Value exposes the critic's state-value estimate (diagnostics, tests).
+func (f *FairMove) Value(obs sim.Observation) float64 { return value(f.critic, obs.Features) }
+
+// Probs exposes the policy distribution (diagnostics, tests).
+func (f *FairMove) Probs(obs sim.Observation) []float64 { return f.probs(obs) }
+
+// Save writes both networks.
+func (f *FairMove) Save(w io.Writer) error {
+	if err := f.actor.Save(w); err != nil {
+		return fmt.Errorf("core: save actor: %w", err)
+	}
+	if err := f.critic.Save(w); err != nil {
+		return fmt.Errorf("core: save critic: %w", err)
+	}
+	return nil
+}
+
+// Load reads networks written by Save into a system configured with cfg.
+func Load(r io.Reader, cfg Config) (*FairMove, error) {
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	actor, err := nn.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load actor: %w", err)
+	}
+	critic, err := nn.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load critic: %w", err)
+	}
+	if actor.InputSize() != sim.FeatureSize || actor.OutputSize() != sim.NumActions {
+		return nil, fmt.Errorf("core: loaded actor has wrong shape %dx%d", actor.InputSize(), actor.OutputSize())
+	}
+	if critic.InputSize() != sim.FeatureSize || critic.OutputSize() != 1 {
+		return nil, fmt.Errorf("core: loaded critic has wrong shape %dx%d", critic.InputSize(), critic.OutputSize())
+	}
+	f.actor = actor
+	f.critic = critic
+	f.targetCritic = critic.Clone()
+	return f, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func testCity(t *testing.T, seed int64) *synth.City {
+	t.Helper()
+	city, err := synth.Build(synth.TestConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(0.6, 1).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Alpha = -0.1 },
+		func(c *Config) { c.Alpha = 1.1 },
+		func(c *Config) { c.Gamma = 1.0 },
+		func(c *Config) { c.ActorLR = 0 },
+		func(c *Config) { c.CriticLR = -1 },
+		func(c *Config) { c.Batch = 0 },
+		func(c *Config) { c.UpdateIters = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig(0.6, 1)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(Config{Alpha: 2}); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestActProducesValidActions(t *testing.T) {
+	city := testCity(t, 1)
+	f, err := New(DefaultConfig(0.6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sim.New(city, sim.DefaultOptions(1), 1)
+	res := policy.Evaluate(f, env, 1)
+	if res.Slots != 144 {
+		t.Fatalf("slots = %d", res.Slots)
+	}
+	if env.InvalidActions() > 0 {
+		t.Fatalf("FairMove produced %d invalid actions", env.InvalidActions())
+	}
+}
+
+func TestProbsRespectMask(t *testing.T) {
+	f, err := New(DefaultConfig(0.6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := sim.Observation{Features: make([]float64, sim.FeatureSize)}
+	obs.Mask[0] = true
+	obs.Mask[7] = true
+	p := f.Probs(obs)
+	var sum float64
+	for i, v := range p {
+		if !obs.Mask[i] && v != 0 {
+			t.Fatalf("masked action %d has probability %v", i, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestTrainProducesStatsAndLearns(t *testing.T) {
+	city := testCity(t, 3)
+	f, err := New(DefaultConfig(0.6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := sim.Observation{Features: make([]float64, sim.FeatureSize)}
+	for i := range obs.Mask {
+		obs.Mask[i] = true
+	}
+	vBefore := f.Value(obs)
+	stats := f.Train(city, 2, 1, 3)
+	if stats.Episodes != 2 || len(stats.MeanReward) != 2 || len(stats.CriticLoss) != 2 {
+		t.Fatalf("stats shape wrong: %+v", stats)
+	}
+	if stats.Transitions == 0 {
+		t.Fatal("no transitions collected")
+	}
+	if f.Value(obs) == vBefore {
+		t.Fatal("critic unchanged by training")
+	}
+	for _, l := range stats.CriticLoss {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			t.Fatalf("critic loss invalid: %v", l)
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	city := testCity(t, 4)
+	run := func() []float64 {
+		f, err := New(DefaultConfig(0.6, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Train(city, 2, 1, 4).MeanReward
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("training not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	city := testCity(t, 5)
+	f, err := New(DefaultConfig(0.6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Train(city, 1, 1, 5)
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, DefaultConfig(0.6, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := sim.Observation{Features: make([]float64, sim.FeatureSize)}
+	for i := range obs.Mask {
+		obs.Mask[i] = true
+	}
+	pa, pb := f.Probs(obs), loaded.Probs(obs)
+	for i := range pa {
+		if math.Abs(pa[i]-pb[i]) > 1e-12 {
+			t.Fatalf("loaded policy differs at %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+	if math.Abs(f.Value(obs)-loaded.Value(obs)) > 1e-12 {
+		t.Fatal("loaded critic differs")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("junk")), DefaultConfig(0.6, 1)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestAlphaOneIgnoresFairness(t *testing.T) {
+	// With α=1 the reward is pure profit; with α=0 pure fairness. Both must
+	// train without error — the boundary cases of Table IV.
+	city := testCity(t, 6)
+	for _, alpha := range []float64{0, 1} {
+		f, err := New(DefaultConfig(alpha, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := f.Train(city, 1, 1, 6)
+		if len(stats.MeanReward) != 1 || math.IsNaN(stats.MeanReward[0]) {
+			t.Fatalf("alpha=%v training failed: %+v", alpha, stats)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+// Package demand models spatiotemporal passenger travel demand: where and
+// when trip requests appear, where they go, and what they pay.
+//
+// The model reproduces the structure behind the paper's data-driven findings
+// (Section II-C): per-trip revenue varies strongly across regions and hours
+// (Fig. 7, several CNY to over 100 CNY, airport always high), demand has
+// morning and evening rush peaks, and low-demand suburbs force long cruise
+// times after charging (Figs. 5-6). Regions are typed by archetype and the
+// origin-destination flow follows a gravity model.
+package demand
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/partition"
+	"repro/internal/pricing"
+	"repro/internal/rng"
+)
+
+// Archetype classifies a region's land use, which drives its demand curve
+// and trip-length distribution.
+type Archetype int
+
+// Region archetypes.
+const (
+	Downtown Archetype = iota
+	Residential
+	Suburb
+	Industrial
+	Airport
+	numArchetypes
+)
+
+// String implements fmt.Stringer.
+func (a Archetype) String() string {
+	switch a {
+	case Downtown:
+		return "downtown"
+	case Residential:
+		return "residential"
+	case Suburb:
+		return "suburb"
+	case Industrial:
+		return "industrial"
+	case Airport:
+		return "airport"
+	default:
+		return fmt.Sprintf("Archetype(%d)", int(a))
+	}
+}
+
+// hourlyShape returns the demand multiplier curve of an archetype over 24
+// hours. Curves are normalized to mean 1 at construction time.
+func hourlyShape(a Archetype) [24]float64 {
+	switch a {
+	case Downtown:
+		// Strong morning and evening rush, busy evenings.
+		return [24]float64{0.3, 0.2, 0.15, 0.1, 0.15, 0.3, 0.8, 1.6, 2.0, 1.5, 1.2, 1.2, 1.3, 1.2, 1.1, 1.2, 1.5, 1.9, 2.1, 1.8, 1.5, 1.2, 0.8, 0.5}
+	case Residential:
+		// Morning outflow peak, evening return.
+		return [24]float64{0.3, 0.2, 0.1, 0.1, 0.2, 0.5, 1.4, 2.2, 1.8, 1.0, 0.8, 0.8, 0.9, 0.8, 0.8, 0.9, 1.1, 1.4, 1.7, 1.5, 1.2, 1.0, 0.7, 0.4}
+	case Suburb:
+		// Flat and thin.
+		return [24]float64{0.2, 0.15, 0.1, 0.1, 0.15, 0.3, 0.7, 1.1, 1.2, 1.0, 0.9, 0.9, 1.0, 0.9, 0.9, 0.9, 1.0, 1.2, 1.2, 1.0, 0.8, 0.6, 0.4, 0.3}
+	case Industrial:
+		// Shift-change spikes.
+		return [24]float64{0.2, 0.1, 0.1, 0.1, 0.2, 0.6, 1.5, 1.9, 1.3, 0.8, 0.7, 0.8, 1.1, 0.9, 0.7, 0.8, 1.2, 1.8, 1.5, 0.9, 0.6, 0.4, 0.3, 0.2}
+	case Airport:
+		// Busy through the day and late evening (arrivals).
+		return [24]float64{0.8, 0.5, 0.3, 0.3, 0.5, 0.9, 1.2, 1.4, 1.5, 1.4, 1.3, 1.3, 1.3, 1.3, 1.4, 1.4, 1.4, 1.5, 1.5, 1.5, 1.5, 1.4, 1.2, 1.0}
+	default:
+		var flat [24]float64
+		for i := range flat {
+			flat[i] = 1
+		}
+		return flat
+	}
+}
+
+// baseIntensity returns the relative request volume of an archetype (mean
+// requests per hour per region before fleet scaling).
+func baseIntensity(a Archetype) float64 {
+	switch a {
+	case Downtown:
+		return 10.0
+	case Residential:
+		return 5.0
+	case Suburb:
+		return 1.2
+	case Industrial:
+		return 2.5
+	case Airport:
+		return 8.0
+	default:
+		return 1.0
+	}
+}
+
+// attractiveness returns the gravity-model destination weight.
+func attractiveness(a Archetype) float64 {
+	switch a {
+	case Downtown:
+		return 8.0
+	case Residential:
+		return 5.0
+	case Suburb:
+		return 1.5
+	case Industrial:
+		return 2.0
+	case Airport:
+		return 4.0
+	default:
+		return 1.0
+	}
+}
+
+// RegionProfile is the demand configuration of one region.
+type RegionProfile struct {
+	Region         int
+	Archetype      Archetype
+	BasePerHour    float64 // mean requests per hour before hourly shaping
+	Attractiveness float64 // gravity-model destination weight
+}
+
+// Request is one passenger trip request.
+type Request struct {
+	ID           int64
+	TimeMin      int // absolute simulation minute
+	Origin       geo.Point
+	OriginRegion int
+	Dest         geo.Point
+	DestRegion   int
+	DistanceKm   float64 // road distance
+	DurationMin  float64 // expected on-board duration
+	Fare         float64 // CNY
+}
+
+// Model generates requests for a partitioned city.
+type Model struct {
+	part     *partition.Partition
+	profiles []RegionProfile
+	fares    pricing.FareSchedule
+	// Scale multiplies every region's base intensity; the synthetic city
+	// uses it to match demand to fleet size.
+	Scale float64
+
+	// destWeights[o] caches gravity weights from origin o to every region.
+	destWeights [][]float64
+	// meanDistKm[o] caches the gravity-weighted mean haversine trip
+	// distance from origin o, used for fast expected-fare queries.
+	meanDistKm []float64
+	nextID     int64
+}
+
+// RoadFactor converts haversine distance to road distance.
+const RoadFactor = 1.35
+
+// SpeedKmh returns average traffic speed at the given hour: slower in the
+// rush hours, faster overnight.
+func SpeedKmh(hour int) float64 {
+	h := ((hour % 24) + 24) % 24
+	switch {
+	case h >= 7 && h < 10:
+		return 22
+	case h >= 17 && h < 20:
+		return 20
+	case h >= 23 || h < 6:
+		return 42
+	default:
+		return 30
+	}
+}
+
+// NewShenzhenLike builds a demand model over part with archetypes assigned
+// by geography: the innermost regions are downtown, surrounded by
+// residential, then industrial/suburban fringe, plus one airport region in
+// the far northwest (as in Shenzhen, where Bao'an airport sits away from the
+// centre).
+func NewShenzhenLike(seed int64, part *partition.Partition) *Model {
+	src := rng.SplitStable(seed, "demand-archetypes")
+	n := part.Len()
+	center := part.BBox().Center()
+
+	// Rank regions by distance from centre.
+	type rd struct {
+		id int
+		d  float64
+	}
+	ranked := make([]rd, n)
+	var maxD float64
+	for i := 0; i < n; i++ {
+		d := geo.Distance(part.Region(i).Centroid, center)
+		ranked[i] = rd{i, d}
+		if d > maxD {
+			maxD = d
+		}
+	}
+
+	profiles := make([]RegionProfile, n)
+	// Airport: the region closest to the northwest corner of the bbox.
+	b := part.BBox()
+	nw := geo.Point{Lng: b.MinLng + 0.1*b.Width(), Lat: b.MinLat + 0.8*b.Height()}
+	airportID, bestD := 0, math.Inf(1)
+	for i := 0; i < n; i++ {
+		if d := geo.Distance(part.Region(i).Centroid, nw); d < bestD {
+			airportID, bestD = i, d
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		frac := ranked[i].d / maxD
+		var a Archetype
+		switch {
+		case i == airportID:
+			a = Airport
+		case frac < 0.25:
+			a = Downtown
+		case frac < 0.55:
+			a = Residential
+		case frac < 0.8:
+			if src.Bool(0.4) {
+				a = Industrial
+			} else {
+				a = Suburb
+			}
+		default:
+			a = Suburb
+		}
+		base := baseIntensity(a) * src.Uniform(0.7, 1.3)
+		profiles[i] = RegionProfile{
+			Region:         i,
+			Archetype:      a,
+			BasePerHour:    base,
+			Attractiveness: attractiveness(a) * src.Uniform(0.8, 1.2),
+		}
+	}
+
+	m := &Model{part: part, profiles: profiles, fares: pricing.ShenzhenFares(), Scale: 1}
+	m.buildGravity()
+	return m
+}
+
+// New builds a model from explicit profiles (profiles[i].Region must be i).
+func New(part *partition.Partition, profiles []RegionProfile, fares pricing.FareSchedule) (*Model, error) {
+	if len(profiles) != part.Len() {
+		return nil, fmt.Errorf("demand: %d profiles for %d regions", len(profiles), part.Len())
+	}
+	for i, p := range profiles {
+		if p.Region != i {
+			return nil, fmt.Errorf("demand: profile %d has region %d", i, p.Region)
+		}
+		if p.BasePerHour < 0 || p.Attractiveness < 0 {
+			return nil, fmt.Errorf("demand: profile %d has negative parameters", i)
+		}
+	}
+	m := &Model{part: part, profiles: append([]RegionProfile(nil), profiles...), fares: fares, Scale: 1}
+	m.buildGravity()
+	return m, nil
+}
+
+// buildGravity precomputes destination weights w(o,d) ∝ A_d / (1 + dist²),
+// excluding the origin itself for all but a small self-loop weight.
+func (m *Model) buildGravity() {
+	n := m.part.Len()
+	m.destWeights = make([][]float64, n)
+	m.meanDistKm = make([]float64, n)
+	for o := 0; o < n; o++ {
+		ws := make([]float64, n)
+		var wSum, wdSum float64
+		for d := 0; d < n; d++ {
+			dist := m.part.Distance(o, d)
+			w := m.profiles[d].Attractiveness / (1 + 0.05*dist*dist)
+			if d == o {
+				w *= 0.1 // short intra-region trips are rare but possible
+			}
+			ws[d] = w
+			wSum += w
+			wdSum += w * dist
+		}
+		m.destWeights[o] = ws
+		if wSum > 0 {
+			m.meanDistKm[o] = wdSum / wSum
+		}
+	}
+}
+
+// ExpectedFare returns the gravity-weighted expected per-trip fare from
+// origin at the given hour, computed analytically from the cached mean trip
+// distance. It is the fast estimate used in policy observation features;
+// MeanFare is the Monte-Carlo reference.
+func (m *Model) ExpectedFare(origin, hour int) float64 {
+	distKm := m.meanDistKm[origin] * RoadFactor
+	if distKm < 1 {
+		distKm = 1
+	}
+	durMin := distKm / SpeedKmh(hour) * 60
+	return m.fares.Fare(distKm, durMin, hour)
+}
+
+// Partition returns the underlying partition.
+func (m *Model) Partition() *partition.Partition { return m.part }
+
+// Profile returns the demand profile of a region.
+func (m *Model) Profile(region int) RegionProfile { return m.profiles[region] }
+
+// Fares returns the fare schedule.
+func (m *Model) Fares() pricing.FareSchedule { return m.fares }
+
+// Rate returns the expected number of requests per minute in region at
+// absolute minute t.
+func (m *Model) Rate(region, tMin int) float64 {
+	hour := (tMin / 60) % 24
+	if hour < 0 {
+		hour += 24
+	}
+	shape := hourlyShape(m.profiles[region].Archetype)
+	return m.Scale * m.profiles[region].BasePerHour * shape[hour] / 60
+}
+
+// ExpectedSlotDemand returns the expected number of requests in region over
+// a slot of slotMin minutes starting at tMin — the "predicted number of
+// passengers at the next time slot" feature of the paper's global state.
+func (m *Model) ExpectedSlotDemand(region, tMin, slotMin int) float64 {
+	var sum float64
+	for dm := 0; dm < slotMin; dm++ {
+		sum += m.Rate(region, tMin+dm)
+	}
+	return sum
+}
+
+// TotalExpectedPerDay returns the expected total requests per day across all
+// regions at the current scale. The synthetic city uses it to calibrate
+// Scale against the fleet size.
+func (m *Model) TotalExpectedPerDay() float64 {
+	var sum float64
+	for r := 0; r < m.part.Len(); r++ {
+		for h := 0; h < 24; h++ {
+			sum += m.Rate(r, h*60) * 60
+		}
+	}
+	return sum
+}
+
+// randPointIn returns a point near the centroid of region, inside its
+// polygon when possible.
+func (m *Model) randPointIn(src *rng.Source, region int) geo.Point {
+	r := m.part.Region(region)
+	bb := r.Polygon.BBox()
+	for try := 0; try < 8; try++ {
+		p := geo.Point{
+			Lng: src.Uniform(bb.MinLng, bb.MaxLng),
+			Lat: src.Uniform(bb.MinLat, bb.MaxLat),
+		}
+		if r.Polygon.Contains(p) {
+			return p
+		}
+	}
+	return r.Centroid
+}
+
+// Sample generates the requests arriving in [tMin, tMin+slotMin) using src.
+// Request times are uniform within the slot.
+func (m *Model) Sample(src *rng.Source, tMin, slotMin int) []Request {
+	var out []Request
+	n := m.part.Len()
+	for region := 0; region < n; region++ {
+		mean := m.ExpectedSlotDemand(region, tMin, slotMin)
+		count := src.Poisson(mean)
+		for i := 0; i < count; i++ {
+			out = append(out, m.sampleOne(src, region, tMin+src.Intn(maxInt(slotMin, 1))))
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (m *Model) sampleOne(src *rng.Source, origin, tMin int) Request {
+	dest := src.WeightedChoice(m.destWeights[origin])
+	op := m.randPointIn(src, origin)
+	dp := m.randPointIn(src, dest)
+	distKm := geo.Distance(op, dp) * RoadFactor
+	if distKm < 0.5 {
+		distKm = 0.5 + src.Uniform(0, 1.0) // minimum meaningful trip
+	}
+	hour := (tMin / 60) % 24
+	speed := SpeedKmh(hour)
+	durMin := distKm / speed * 60 * src.Uniform(0.9, 1.2)
+	fare := m.fares.Fare(distKm, durMin, hour)
+	m.nextID++
+	return Request{
+		ID:           m.nextID,
+		TimeMin:      tMin,
+		Origin:       op,
+		OriginRegion: origin,
+		Dest:         dp,
+		DestRegion:   dest,
+		DistanceKm:   distKm,
+		DurationMin:  durMin,
+		Fare:         fare,
+	}
+}
+
+// SampleTripFrom generates a single request originating in region at tMin.
+// The simulator uses it when a matched passenger's trip needs materializing.
+func (m *Model) SampleTripFrom(src *rng.Source, region, tMin int) Request {
+	return m.sampleOne(src, region, tMin)
+}
+
+// MeanFare estimates the mean per-trip fare from region at the given hour by
+// Monte-Carlo sampling. Figures use it; policies use learned estimates.
+func (m *Model) MeanFare(src *rng.Source, region, hour, samples int) float64 {
+	if samples <= 0 {
+		samples = 50
+	}
+	var sum float64
+	for i := 0; i < samples; i++ {
+		sum += m.sampleOne(src, region, hour*60).Fare
+	}
+	return sum / float64(samples)
+}
+
+// Archetypes returns the archetype of every region.
+func (m *Model) Archetypes() []Archetype {
+	out := make([]Archetype, len(m.profiles))
+	for i, p := range m.profiles {
+		out[i] = p.Archetype
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+// Package forecast predicts per-region passenger demand. The paper's
+// global-view state includes "the expected number of passengers in each
+// region at the next time slot, which is predicted with historical and
+// real-time data" — this package is that predictor: an exponentially
+// weighted per-(region, slot-of-day) historical profile blended with a
+// short-horizon real-time correction, learned online from the observed
+// request stream. The simulator can use it in place of the demand model's
+// oracle expectation, so policies see honest predictions.
+package forecast
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predictor learns and serves per-region, per-slot demand forecasts.
+type Predictor struct {
+	regions  int
+	slotsDay int
+
+	// hist[r][s] is the EWMA of observed request counts in region r during
+	// slot-of-day s across days.
+	hist [][]float64
+	// seen[r][s] counts observations, used to fall back to priors early.
+	seen [][]int
+	// recent[r] tracks the last few slots' prediction error per region for
+	// the real-time correction.
+	recent []float64
+
+	// HistAlpha is the day-over-day EWMA weight (default 0.3).
+	HistAlpha float64
+	// RecentAlpha is the real-time correction EWMA weight (default 0.5).
+	RecentAlpha float64
+	// RecentWeight is how strongly the real-time correction shifts the
+	// historical profile (default 0.5).
+	RecentWeight float64
+	// Prior is the prediction before any observation (default 0).
+	Prior float64
+}
+
+// New creates a predictor for the given city shape.
+func New(regions, slotsPerDay int) (*Predictor, error) {
+	if regions <= 0 || slotsPerDay <= 0 {
+		return nil, fmt.Errorf("forecast: invalid shape %d regions × %d slots", regions, slotsPerDay)
+	}
+	p := &Predictor{
+		regions:      regions,
+		slotsDay:     slotsPerDay,
+		hist:         make([][]float64, regions),
+		seen:         make([][]int, regions),
+		recent:       make([]float64, regions),
+		HistAlpha:    0.3,
+		RecentAlpha:  0.5,
+		RecentWeight: 0.5,
+	}
+	for r := 0; r < regions; r++ {
+		p.hist[r] = make([]float64, slotsPerDay)
+		p.seen[r] = make([]int, slotsPerDay)
+	}
+	return p, nil
+}
+
+// slotOfDay maps an absolute slot index to a slot-of-day bucket.
+func (p *Predictor) slotOfDay(absSlot int) int {
+	s := absSlot % p.slotsDay
+	if s < 0 {
+		s += p.slotsDay
+	}
+	return s
+}
+
+// Observe records the actual request count of region r during absolute slot
+// absSlot and updates both the historical profile and the real-time error
+// tracker.
+func (p *Predictor) Observe(r, absSlot int, count float64) {
+	if r < 0 || r >= p.regions {
+		panic(fmt.Sprintf("forecast: region %d out of range", r))
+	}
+	s := p.slotOfDay(absSlot)
+	pred := p.Predict(r, absSlot)
+	if p.seen[r][s] == 0 {
+		p.hist[r][s] = count
+	} else {
+		p.hist[r][s] = (1-p.HistAlpha)*p.hist[r][s] + p.HistAlpha*count
+	}
+	p.seen[r][s]++
+	// Real-time correction: how much this region is currently running
+	// above/below its historical profile.
+	err := count - pred
+	p.recent[r] = (1-p.RecentAlpha)*p.recent[r] + p.RecentAlpha*err
+}
+
+// Predict returns the expected request count for region r in absolute slot
+// absSlot: the historical slot-of-day profile shifted by the region's
+// recent over/under-performance.
+func (p *Predictor) Predict(r, absSlot int) float64 {
+	if r < 0 || r >= p.regions {
+		panic(fmt.Sprintf("forecast: region %d out of range", r))
+	}
+	s := p.slotOfDay(absSlot)
+	base := p.Prior
+	if p.seen[r][s] > 0 {
+		base = p.hist[r][s]
+	}
+	v := base + p.RecentWeight*p.recent[r]
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// MAE returns the mean absolute error of the predictor against a sequence
+// of (region, slot, actual) observations WITHOUT updating state — an
+// evaluation helper.
+func (p *Predictor) MAE(obs []Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, o := range obs {
+		sum += math.Abs(p.Predict(o.Region, o.AbsSlot) - o.Count)
+	}
+	return sum / float64(len(obs))
+}
+
+// Observation is one (region, slot, actual count) triple.
+type Observation struct {
+	Region  int
+	AbsSlot int
+	Count   float64
+}
+
+// Regions returns the number of regions.
+func (p *Predictor) Regions() int { return p.regions }
+
+// SlotsPerDay returns the slot-of-day resolution.
+func (p *Predictor) SlotsPerDay() int { return p.slotsDay }

@@ -1,0 +1,157 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 144); err == nil {
+		t.Error("0 regions accepted")
+	}
+	if _, err := New(10, 0); err == nil {
+		t.Error("0 slots accepted")
+	}
+	p, err := New(10, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Regions() != 10 || p.SlotsPerDay() != 144 {
+		t.Fatal("shape accessors wrong")
+	}
+}
+
+func TestColdStartUsesPrior(t *testing.T) {
+	p, _ := New(3, 144)
+	if got := p.Predict(0, 10); got != 0 {
+		t.Fatalf("cold prediction = %v, want prior 0", got)
+	}
+	p.Prior = 2.5
+	if got := p.Predict(1, 10); got != 2.5 {
+		t.Fatalf("cold prediction = %v, want prior 2.5", got)
+	}
+}
+
+func TestLearnsStationaryPattern(t *testing.T) {
+	p, _ := New(2, 24)
+	// Region 0 sees 5 requests at slot 8 every day, 1 elsewhere.
+	for day := 0; day < 20; day++ {
+		for s := 0; s < 24; s++ {
+			count := 1.0
+			if s == 8 {
+				count = 5
+			}
+			p.Observe(0, day*24+s, count)
+		}
+	}
+	peak := p.Predict(0, 20*24+8)
+	base := p.Predict(0, 20*24+3)
+	if math.Abs(peak-5) > 0.8 {
+		t.Errorf("peak prediction %v, want ≈5", peak)
+	}
+	if math.Abs(base-1) > 0.8 {
+		t.Errorf("off-peak prediction %v, want ≈1", base)
+	}
+}
+
+func TestRealTimeCorrectionTracksSurge(t *testing.T) {
+	p, _ := New(1, 24)
+	// Learn a flat profile of 2.
+	for day := 0; day < 10; day++ {
+		for s := 0; s < 24; s++ {
+			p.Observe(0, day*24+s, 2)
+		}
+	}
+	flat := p.Predict(0, 10*24)
+	// A sudden surge: several consecutive slots at 8.
+	for s := 0; s < 4; s++ {
+		p.Observe(0, 10*24+s, 8)
+	}
+	surged := p.Predict(0, 10*24+4)
+	if surged <= flat+1 {
+		t.Errorf("prediction %v did not lift above flat %v during a surge", surged, flat)
+	}
+}
+
+func TestPredictionNeverNegative(t *testing.T) {
+	p, _ := New(1, 24)
+	for day := 0; day < 5; day++ {
+		for s := 0; s < 24; s++ {
+			p.Observe(0, day*24+s, 3)
+		}
+	}
+	// Crash to zero demand.
+	for s := 0; s < 6; s++ {
+		p.Observe(0, 5*24+s, 0)
+	}
+	if got := p.Predict(0, 5*24+6); got < 0 {
+		t.Fatalf("negative prediction %v", got)
+	}
+}
+
+func TestBeatsNaiveOnNoisyDaily(t *testing.T) {
+	// On a noisy daily-periodic signal, the learned profile must beat the
+	// global-mean predictor on held-out data.
+	src := rng.New(9)
+	p, _ := New(1, 24)
+	shape := func(s int) float64 { return 2 + 3*math.Sin(2*math.Pi*float64(s)/24) + 3 }
+	var all []float64
+	for day := 0; day < 15; day++ {
+		for s := 0; s < 24; s++ {
+			v := shape(s) * src.Uniform(0.7, 1.3)
+			p.Observe(0, day*24+s, v)
+			all = append(all, v)
+		}
+	}
+	var mean float64
+	for _, v := range all {
+		mean += v
+	}
+	mean /= float64(len(all))
+
+	var obs []Observation
+	var naiveErr float64
+	for s := 0; s < 24; s++ {
+		actual := shape(s)
+		obs = append(obs, Observation{Region: 0, AbsSlot: 15*24 + s, Count: actual})
+		naiveErr += math.Abs(mean - actual)
+	}
+	naiveErr /= 24
+	if got := p.MAE(obs); got >= naiveErr {
+		t.Fatalf("predictor MAE %v not below naive %v", got, naiveErr)
+	}
+}
+
+func TestMAEEmpty(t *testing.T) {
+	p, _ := New(1, 24)
+	if p.MAE(nil) != 0 {
+		t.Fatal("empty MAE not 0")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	p, _ := New(2, 24)
+	for _, f := range []func(){
+		func() { p.Predict(5, 0) },
+		func() { p.Observe(-1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on out-of-range region")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSlotWrapping(t *testing.T) {
+	p, _ := New(1, 24)
+	p.Observe(0, 5, 7) // slot-of-day 5
+	if got := p.Predict(0, 24+5); got == 0 {
+		t.Fatalf("next-day same-slot prediction = %v, want learned value", got)
+	}
+}

@@ -1,0 +1,161 @@
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// GridIndex is a uniform-grid spatial index over points. It supports
+// nearest-neighbour and k-nearest queries, which FairMove uses for
+// point-to-region assignment and nearest-charging-station lookups.
+type GridIndex struct {
+	bbox   BBox
+	cols   int
+	rows   int
+	cellW  float64
+	cellH  float64
+	cells  [][]int // indices into pts per cell
+	pts    []Point
+	labels []int // caller-supplied identifiers, parallel to pts
+}
+
+// NewGridIndex builds an index over pts with roughly cells×cells resolution.
+// labels[i] is the identifier returned for pts[i]; if labels is nil the point
+// index itself is used.
+func NewGridIndex(pts []Point, labels []int, cells int) *GridIndex {
+	if len(pts) == 0 {
+		panic("geo: NewGridIndex with no points")
+	}
+	if cells < 1 {
+		cells = 1
+	}
+	if labels == nil {
+		labels = make([]int, len(pts))
+		for i := range labels {
+			labels[i] = i
+		}
+	}
+	if len(labels) != len(pts) {
+		panic("geo: labels length mismatch")
+	}
+	b := BBoxOf(pts).Expand(1e-9)
+	g := &GridIndex{
+		bbox:   b,
+		cols:   cells,
+		rows:   cells,
+		cellW:  b.Width() / float64(cells),
+		cellH:  b.Height() / float64(cells),
+		cells:  make([][]int, cells*cells),
+		pts:    append([]Point(nil), pts...),
+		labels: append([]int(nil), labels...),
+	}
+	for i, p := range g.pts {
+		c := g.cellOf(p)
+		g.cells[c] = append(g.cells[c], i)
+	}
+	return g
+}
+
+// Len returns the number of indexed points.
+func (g *GridIndex) Len() int { return len(g.pts) }
+
+func (g *GridIndex) cellOf(p Point) int {
+	cx := int((p.Lng - g.bbox.MinLng) / g.cellW)
+	cy := int((p.Lat - g.bbox.MinLat) / g.cellH)
+	cx = clampInt(cx, 0, g.cols-1)
+	cy = clampInt(cy, 0, g.rows-1)
+	return cy*g.cols + cx
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Nearest returns the label of the indexed point closest to q and the
+// distance to it in kilometres.
+func (g *GridIndex) Nearest(q Point) (label int, distKm float64) {
+	res := g.KNearest(q, 1)
+	if len(res) == 0 {
+		return -1, math.Inf(1)
+	}
+	return res[0].Label, res[0].DistKm
+}
+
+// Neighbor is one result of a KNearest query.
+type Neighbor struct {
+	Label  int
+	DistKm float64
+}
+
+// KNearest returns the k indexed points closest to q ordered by increasing
+// distance. It expands a ring search over grid cells until enough candidates
+// are found.
+func (g *GridIndex) KNearest(q Point, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(g.pts) {
+		k = len(g.pts)
+	}
+	cx := clampInt(int((q.Lng-g.bbox.MinLng)/g.cellW), 0, g.cols-1)
+	cy := clampInt(int((q.Lat-g.bbox.MinLat)/g.cellH), 0, g.rows-1)
+
+	var cand []Neighbor
+	maxRing := g.cols
+	if g.rows > maxRing {
+		maxRing = g.rows
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		added := g.collectRing(q, cx, cy, ring, &cand)
+		// Stop once we have k candidates and have searched one ring past the
+		// ring that produced them, which guarantees correctness on a uniform
+		// grid (a nearer point cannot hide more than one ring further out).
+		if len(cand) >= k && ring > 0 && !added {
+			break
+		}
+		if len(cand) >= k && ring >= 1 {
+			// One extra guard ring beyond first satisfaction.
+			g.collectRing(q, cx, cy, ring+1, &cand)
+			break
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].DistKm < cand[j].DistKm })
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	return cand
+}
+
+// collectRing appends all points in cells at Chebyshev distance ring from
+// (cx, cy) and reports whether any cell in the ring existed.
+func (g *GridIndex) collectRing(q Point, cx, cy, ring int, out *[]Neighbor) bool {
+	any := false
+	appendCell := func(x, y int) {
+		if x < 0 || x >= g.cols || y < 0 || y >= g.rows {
+			return
+		}
+		any = true
+		for _, i := range g.cells[y*g.cols+x] {
+			*out = append(*out, Neighbor{Label: g.labels[i], DistKm: Distance(q, g.pts[i])})
+		}
+	}
+	if ring == 0 {
+		appendCell(cx, cy)
+		return any
+	}
+	for x := cx - ring; x <= cx+ring; x++ {
+		appendCell(x, cy-ring)
+		appendCell(x, cy+ring)
+	}
+	for y := cy - ring + 1; y <= cy+ring-1; y++ {
+		appendCell(cx-ring, y)
+		appendCell(cx+ring, y)
+	}
+	return any
+}

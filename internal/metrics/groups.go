@@ -1,0 +1,102 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Section V of the paper proposes grouping drivers by performance level
+// (the five-star rating taxi companies already assign) and measuring
+// fairness within each group rather than across the whole fleet. This file
+// implements that extension.
+
+// GroupAssignment maps each taxi to a group index in [0, Groups).
+type GroupAssignment struct {
+	Groups int
+	Of     []int // Of[taxi] = group index
+}
+
+// StarGroupsByPE assigns taxis to `groups` performance tiers by their
+// realized profit efficiency quantiles — a stand-in for the five-star
+// company ratings the paper mentions. Off-duty taxis land in group 0.
+func StarGroupsByPE(r *sim.Results, groups int) (GroupAssignment, error) {
+	if groups < 1 {
+		return GroupAssignment{}, fmt.Errorf("metrics: groups must be ≥ 1, got %d", groups)
+	}
+	assign := GroupAssignment{Groups: groups, Of: make([]int, len(r.Accounts))}
+	pes := r.PEs()
+	if len(pes) == 0 {
+		return assign, nil
+	}
+	// Quantile cut points over on-duty taxis.
+	cuts := make([]float64, groups-1)
+	for i := 1; i < groups; i++ {
+		cuts[i-1] = stats.Percentile(pes, float64(i)/float64(groups)*100)
+	}
+	for id, a := range r.Accounts {
+		if a.OnDutyMin() <= 0 {
+			assign.Of[id] = 0
+			continue
+		}
+		pe := a.ProfitEfficiency()
+		g := 0
+		for g < groups-1 && pe > cuts[g] {
+			g++
+		}
+		assign.Of[id] = g
+	}
+	return assign, nil
+}
+
+// GroupFairness is the within-group profit fairness report of Section V.
+type GroupFairness struct {
+	Group  int
+	N      int
+	MeanPE float64
+	PF     float64 // within-group variance of PE
+}
+
+// WithinGroupFairness computes PF (Eq. 3) inside each group. The paper's
+// argument: a veteran out-earning a novice is not unfair, so PF should be
+// measured among peers.
+func WithinGroupFairness(r *sim.Results, assign GroupAssignment) []GroupFairness {
+	buckets := make([][]float64, assign.Groups)
+	for id, a := range r.Accounts {
+		if a.OnDutyMin() <= 0 || id >= len(assign.Of) {
+			continue
+		}
+		g := assign.Of[id]
+		if g < 0 || g >= assign.Groups {
+			continue
+		}
+		buckets[g] = append(buckets[g], a.ProfitEfficiency())
+	}
+	out := make([]GroupFairness, assign.Groups)
+	for g, xs := range buckets {
+		out[g] = GroupFairness{
+			Group:  g,
+			N:      len(xs),
+			MeanPE: stats.Mean(xs),
+			PF:     stats.Variance(xs),
+		}
+	}
+	return out
+}
+
+// MeanWithinGroupPF aggregates the per-group variances weighted by group
+// size — the single number to compare across strategies under the grouped
+// fairness definition.
+func MeanWithinGroupPF(gf []GroupFairness) float64 {
+	var sum float64
+	var n int
+	for _, g := range gf {
+		sum += g.PF * float64(g.N)
+		n += g.N
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// resultsWithPEs builds Results whose taxis have exactly the given profit
+// efficiencies (1 hour on duty each).
+func resultsWithPEs(pes ...float64) *sim.Results {
+	r := &sim.Results{}
+	for _, pe := range pes {
+		r.Accounts = append(r.Accounts, sim.TaxiAccount{RevenueCNY: pe, CruiseMin: 60})
+	}
+	return r
+}
+
+func TestStarGroupsByPEQuantiles(t *testing.T) {
+	r := resultsWithPEs(10, 20, 30, 40, 50, 60, 70, 80)
+	assign, err := StarGroupsByPE(r, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign.Groups != 4 || len(assign.Of) != 8 {
+		t.Fatalf("assignment shape wrong: %+v", assign)
+	}
+	// Quantile groups must be non-decreasing with PE.
+	for i := 1; i < 8; i++ {
+		if assign.Of[i] < assign.Of[i-1] {
+			t.Fatalf("group order broken: %v", assign.Of)
+		}
+	}
+	if assign.Of[0] != 0 || assign.Of[7] != 3 {
+		t.Fatalf("extremes misassigned: %v", assign.Of)
+	}
+}
+
+func TestStarGroupsRejectsBadCount(t *testing.T) {
+	if _, err := StarGroupsByPE(&sim.Results{}, 0); err == nil {
+		t.Fatal("groups=0 accepted")
+	}
+}
+
+func TestStarGroupsOffDutyToGroupZero(t *testing.T) {
+	r := resultsWithPEs(10, 90)
+	r.Accounts = append(r.Accounts, sim.TaxiAccount{}) // never on duty
+	assign, err := StarGroupsByPE(r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign.Of[2] != 0 {
+		t.Fatalf("off-duty taxi in group %d, want 0", assign.Of[2])
+	}
+}
+
+func TestWithinGroupFairness(t *testing.T) {
+	// Two groups: (10, 20) and (70, 80) — both with variance 25, while the
+	// whole-fleet variance is far larger. The grouped view says "fair".
+	r := resultsWithPEs(10, 20, 70, 80)
+	assign := GroupAssignment{Groups: 2, Of: []int{0, 0, 1, 1}}
+	gf := WithinGroupFairness(r, assign)
+	if len(gf) != 2 {
+		t.Fatalf("group count %d", len(gf))
+	}
+	for g, f := range gf {
+		if f.N != 2 {
+			t.Fatalf("group %d has %d members", g, f.N)
+		}
+		if math.Abs(f.PF-25) > 1e-9 {
+			t.Fatalf("group %d PF = %v, want 25", g, f.PF)
+		}
+	}
+	whole := ProfitFairness(r)
+	if whole <= 25 {
+		t.Fatalf("fleet PF %v should exceed within-group PF", whole)
+	}
+	if m := MeanWithinGroupPF(gf); math.Abs(m-25) > 1e-9 {
+		t.Fatalf("MeanWithinGroupPF = %v, want 25", m)
+	}
+}
+
+func TestWithinGroupFairnessEmpty(t *testing.T) {
+	gf := WithinGroupFairness(&sim.Results{}, GroupAssignment{Groups: 3, Of: nil})
+	if len(gf) != 3 {
+		t.Fatalf("group count %d", len(gf))
+	}
+	if MeanWithinGroupPF(gf) != 0 {
+		t.Fatal("empty mean PF should be 0")
+	}
+}
+
+func TestWithinGroupIgnoresOutOfRange(t *testing.T) {
+	r := resultsWithPEs(10, 20)
+	assign := GroupAssignment{Groups: 1, Of: []int{0, 9}} // 9 is invalid
+	gf := WithinGroupFairness(r, assign)
+	if gf[0].N != 1 {
+		t.Fatalf("group 0 has %d members, want 1 (invalid index skipped)", gf[0].N)
+	}
+}

@@ -1,0 +1,134 @@
+package nn
+
+import "math"
+
+// MSELoss returns the mean-squared-error loss over a batch and the gradient
+// dL/dpred (averaged over the batch). pred and target must have identical
+// shapes.
+func MSELoss(pred, target *Mat) (loss float64, grad *Mat) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("nn: MSELoss shape mismatch")
+	}
+	grad = NewMat(pred.Rows, pred.Cols)
+	n := float64(len(pred.Data))
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// Softmax computes a numerically stable softmax of logits in place-free
+// fashion, optionally restricted to a mask (nil = all valid). Masked-out
+// entries receive probability 0.
+func Softmax(logits []float64, mask []bool) []float64 {
+	probs := make([]float64, len(logits))
+	maxL := math.Inf(-1)
+	for i, l := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if math.IsInf(maxL, -1) {
+		return probs // fully masked: all zeros
+	}
+	var sum float64
+	for i, l := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		e := math.Exp(l - maxL)
+		probs[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		return probs
+	}
+	for i := range probs {
+		probs[i] /= sum
+	}
+	return probs
+}
+
+// PolicyGradient returns dL/dlogits for the policy-gradient loss
+// L = -advantage · log π(action), where π is the (masked) softmax of logits:
+// grad = advantage · (π − onehot(action)), zero on masked entries.
+// Minimizing L with this gradient performs gradient ascent on expected
+// advantage-weighted log-likelihood (Eq. 8 of the paper).
+func PolicyGradient(logits []float64, mask []bool, action int, advantage float64) []float64 {
+	probs := Softmax(logits, mask)
+	grad := make([]float64, len(logits))
+	for i, p := range probs {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		g := p
+		if i == action {
+			g -= 1
+		}
+		grad[i] = advantage * g
+	}
+	return grad
+}
+
+// EntropyBonusGradient returns dH/dlogits scaled by -coef (so adding it to a
+// loss gradient encourages exploration), where H = -Σ π log π over the
+// masked softmax.
+func EntropyBonusGradient(logits []float64, mask []bool, coef float64) []float64 {
+	probs := Softmax(logits, mask)
+	// H = -Σ p_i log p_i ; dH/dlogit_j = -p_j (log p_j + H... ) — derive:
+	// dH/dl_j = -p_j * (log p_j - Σ_k p_k log p_k)
+	var ent float64
+	for i, p := range probs {
+		if p > 0 {
+			ent -= p * math.Log(p)
+		}
+		_ = i
+	}
+	grad := make([]float64, len(logits))
+	for i, p := range probs {
+		if p <= 0 {
+			continue
+		}
+		dH := -p * (math.Log(p) + ent)
+		grad[i] = -coef * dH
+	}
+	return grad
+}
+
+// Entropy returns the Shannon entropy of a probability vector.
+func Entropy(probs []float64) float64 {
+	var h float64
+	for _, p := range probs {
+		if p > 0 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// ClipGrads scales all gradients so their global L2 norm does not exceed
+// maxNorm, returning the pre-clip norm. No-op if maxNorm <= 0.
+func ClipGrads(grads [][]float64, maxNorm float64) float64 {
+	var sq float64
+	for _, g := range grads {
+		for _, v := range g {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, g := range grads {
+		for i := range g {
+			g[i] *= scale
+		}
+	}
+	return norm
+}

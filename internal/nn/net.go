@@ -1,0 +1,280 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Activation selects a layer's nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	Identity Activation = iota
+	ReLU
+	Tanh
+)
+
+// String implements fmt.Stringer.
+func (a Activation) String() string {
+	switch a {
+	case Identity:
+		return "identity"
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+func (a Activation) apply(z float64) float64 {
+	switch a {
+	case ReLU:
+		if z < 0 {
+			return 0
+		}
+		return z
+	case Tanh:
+		return math.Tanh(z)
+	default:
+		return z
+	}
+}
+
+// derivFromOut returns dσ/dz expressed via the activation output (possible
+// for ReLU and tanh, which keeps the backward pass cache small).
+func (a Activation) derivFromOut(out float64) float64 {
+	switch a {
+	case ReLU:
+		if out > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - out*out
+	default:
+		return 1
+	}
+}
+
+// Dense is one fully connected layer out = σ(x @ Wᵀ + b).
+type Dense struct {
+	In, Out int
+	W       *Mat // Out × In
+	B       []float64
+	Act     Activation
+
+	// training caches (set by Forward, consumed by Backward)
+	lastIn  *Mat
+	lastOut *Mat
+
+	// accumulated gradients
+	GradW *Mat
+	GradB []float64
+}
+
+// NewDense creates a layer with He/Xavier-style initialization drawn from
+// src.
+func NewDense(src *rng.Source, in, out int, act Activation) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: invalid dense shape %d -> %d", in, out))
+	}
+	d := &Dense{
+		In: in, Out: out,
+		W: NewMat(out, in), B: make([]float64, out), Act: act,
+		GradW: NewMat(out, in), GradB: make([]float64, out),
+	}
+	scale := math.Sqrt(2.0 / float64(in)) // He init; fine for tanh too at these sizes
+	for i := range d.W.Data {
+		d.W.Data[i] = src.Norm(0, scale)
+	}
+	return d
+}
+
+// Forward computes the layer output for a batch (rows are samples).
+func (d *Dense) Forward(x *Mat, train bool) *Mat {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: dense expected %d inputs, got %d", d.In, x.Cols))
+	}
+	z := MatMulTransB(x, d.W)
+	for r := 0; r < z.Rows; r++ {
+		row := z.Row(r)
+		for c := range row {
+			row[c] = d.Act.apply(row[c] + d.B[c])
+		}
+	}
+	if train {
+		d.lastIn = x
+		d.lastOut = z
+	}
+	return z
+}
+
+// Backward consumes dL/dout and returns dL/dx, accumulating dL/dW and dL/db.
+// Forward must have been called with train=true.
+func (d *Dense) Backward(gradOut *Mat) *Mat {
+	if d.lastIn == nil {
+		panic("nn: Backward before Forward(train=true)")
+	}
+	// dL/dz = dL/dout * σ'(z)
+	gz := gradOut.Clone()
+	for r := 0; r < gz.Rows; r++ {
+		grow := gz.Row(r)
+		orow := d.lastOut.Row(r)
+		for c := range grow {
+			grow[c] *= d.Act.derivFromOut(orow[c])
+		}
+	}
+	// dL/dW += gzᵀ @ x ; dL/db += Σ gz rows
+	gw := MatMulTransA(gz, d.lastIn)
+	for i, v := range gw.Data {
+		d.GradW.Data[i] += v
+	}
+	for r := 0; r < gz.Rows; r++ {
+		row := gz.Row(r)
+		for c, v := range row {
+			d.GradB[c] += v
+		}
+	}
+	// dL/dx = gz @ W
+	return MatMul(gz, d.W)
+}
+
+// ZeroGrad clears the accumulated gradients.
+func (d *Dense) ZeroGrad() {
+	for i := range d.GradW.Data {
+		d.GradW.Data[i] = 0
+	}
+	for i := range d.GradB {
+		d.GradB[i] = 0
+	}
+}
+
+// MLP is a stack of dense layers.
+type MLP struct {
+	Layers []*Dense
+}
+
+// NewMLP builds a network with the given layer sizes; hidden layers use
+// hiddenAct, the last layer outAct. sizes must list at least input and
+// output widths.
+func NewMLP(src *rng.Source, sizes []int, hiddenAct, outAct Activation) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	m := &MLP{}
+	for i := 0; i+1 < len(sizes); i++ {
+		act := hiddenAct
+		if i+2 == len(sizes) {
+			act = outAct
+		}
+		m.Layers = append(m.Layers, NewDense(src, sizes[i], sizes[i+1], act))
+	}
+	return m
+}
+
+// InputSize returns the expected feature width.
+func (m *MLP) InputSize() int { return m.Layers[0].In }
+
+// OutputSize returns the output width.
+func (m *MLP) OutputSize() int { return m.Layers[len(m.Layers)-1].Out }
+
+// Forward runs the network on a batch.
+func (m *MLP) Forward(x *Mat, train bool) *Mat {
+	out := x
+	for _, l := range m.Layers {
+		out = l.Forward(out, train)
+	}
+	return out
+}
+
+// Forward1 runs the network on a single sample and returns the output row.
+func (m *MLP) Forward1(x []float64) []float64 {
+	out := m.Forward(FromSlice(1, len(x), x), false)
+	return out.Row(0)
+}
+
+// Backward propagates dL/dout through all layers, accumulating gradients.
+func (m *MLP) Backward(gradOut *Mat) {
+	g := gradOut
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		g = m.Layers[i].Backward(g)
+	}
+}
+
+// ZeroGrad clears all accumulated gradients.
+func (m *MLP) ZeroGrad() {
+	for _, l := range m.Layers {
+		l.ZeroGrad()
+	}
+}
+
+// Params returns flat views of all parameters and their gradients, in a
+// stable order, for use by optimizers.
+func (m *MLP) Params() (params, grads [][]float64) {
+	for _, l := range m.Layers {
+		params = append(params, l.W.Data, l.B)
+		grads = append(grads, l.GradW.Data, l.GradB)
+	}
+	return params, grads
+}
+
+// NumParams returns the total parameter count.
+func (m *MLP) NumParams() int {
+	var n int
+	for _, l := range m.Layers {
+		n += len(l.W.Data) + len(l.B)
+	}
+	return n
+}
+
+// CopyWeightsFrom copies all parameters from src (shapes must match). Target
+// networks in DQN and CMA2C use it for the periodic hard update.
+func (m *MLP) CopyWeightsFrom(src *MLP) {
+	if len(m.Layers) != len(src.Layers) {
+		panic("nn: CopyWeightsFrom layer count mismatch")
+	}
+	for i, l := range m.Layers {
+		s := src.Layers[i]
+		if l.In != s.In || l.Out != s.Out {
+			panic("nn: CopyWeightsFrom shape mismatch")
+		}
+		copy(l.W.Data, s.W.Data)
+		copy(l.B, s.B)
+	}
+}
+
+// SoftUpdateFrom blends parameters θ ← (1-τ)θ + τ·θ_src, the Polyak update.
+func (m *MLP) SoftUpdateFrom(src *MLP, tau float64) {
+	if len(m.Layers) != len(src.Layers) {
+		panic("nn: SoftUpdateFrom layer count mismatch")
+	}
+	for i, l := range m.Layers {
+		s := src.Layers[i]
+		for j := range l.W.Data {
+			l.W.Data[j] = (1-tau)*l.W.Data[j] + tau*s.W.Data[j]
+		}
+		for j := range l.B {
+			l.B[j] = (1-tau)*l.B[j] + tau*s.B[j]
+		}
+	}
+}
+
+// Clone returns a deep copy of the network (weights only; caches and
+// gradients are fresh).
+func (m *MLP) Clone() *MLP {
+	out := &MLP{}
+	for _, l := range m.Layers {
+		nl := &Dense{
+			In: l.In, Out: l.Out, Act: l.Act,
+			W: l.W.Clone(), B: append([]float64(nil), l.B...),
+			GradW: NewMat(l.Out, l.In), GradB: make([]float64, l.Out),
+		}
+		out.Layers = append(out.Layers, nl)
+	}
+	return out
+}

@@ -1,0 +1,421 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMatMulTransVariants(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	bt := FromSlice(2, 3, []float64{7, 9, 11, 8, 10, 12}) // b transposed
+	c := MatMulTransB(a, bt)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Fatalf("MatMulTransB[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+	at := FromSlice(3, 2, []float64{1, 4, 2, 5, 3, 6}) // a transposed
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	c2 := MatMulTransA(at, b)
+	for i, v := range want {
+		if c2.Data[i] != v {
+			t.Fatalf("MatMulTransA[%d] = %v, want %v", i, c2.Data[i], v)
+		}
+	}
+}
+
+func TestMatShapePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewMat invalid", func() { NewMat(0, 3) })
+	mustPanic("FromSlice mismatch", func() { FromSlice(2, 2, []float64{1}) })
+	a := NewMat(2, 3)
+	b := NewMat(2, 3)
+	mustPanic("MatMul mismatch", func() { MatMul(a, b) })
+}
+
+// numericGrad computes the loss gradient w.r.t. every parameter by central
+// finite differences.
+func numericGrad(net *MLP, x, target *Mat, eps float64) [][]float64 {
+	params, _ := net.Params()
+	out := make([][]float64, len(params))
+	lossAt := func() float64 {
+		pred := net.Forward(x, false)
+		l, _ := MSELoss(pred, target)
+		return l
+	}
+	for i, p := range params {
+		out[i] = make([]float64, len(p))
+		for j := range p {
+			orig := p[j]
+			p[j] = orig + eps
+			lp := lossAt()
+			p[j] = orig - eps
+			lm := lossAt()
+			p[j] = orig
+			out[i][j] = (lp - lm) / (2 * eps)
+		}
+	}
+	return out
+}
+
+func TestBackpropMatchesFiniteDifferences(t *testing.T) {
+	src := rng.New(1)
+	for _, act := range []Activation{Identity, Tanh, ReLU} {
+		net := NewMLP(src, []int{3, 5, 4, 2}, act, Identity)
+		x := NewMat(4, 3)
+		target := NewMat(4, 2)
+		for i := range x.Data {
+			x.Data[i] = src.Norm(0, 1)
+		}
+		for i := range target.Data {
+			target.Data[i] = src.Norm(0, 1)
+		}
+		net.ZeroGrad()
+		pred := net.Forward(x, true)
+		_, grad := MSELoss(pred, target)
+		net.Backward(grad)
+		_, analytic := net.Params()
+		numeric := numericGrad(net, x, target, 1e-6)
+		for i := range analytic {
+			for j := range analytic[i] {
+				a, n := analytic[i][j], numeric[i][j]
+				scale := math.Max(1e-4, math.Max(math.Abs(a), math.Abs(n)))
+				if math.Abs(a-n)/scale > 2e-3 {
+					t.Fatalf("act=%v: grad[%d][%d] analytic=%v numeric=%v", act, i, j, a, n)
+				}
+			}
+		}
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	src := rng.New(7)
+	net := NewMLP(src, []int{2, 8, 1}, Tanh, Identity)
+	opt := NewAdam(0.02)
+	x := FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	y := FromSlice(4, 1, []float64{0, 1, 1, 0})
+	var loss float64
+	for epoch := 0; epoch < 2000; epoch++ {
+		net.ZeroGrad()
+		pred := net.Forward(x, true)
+		var grad *Mat
+		loss, grad = MSELoss(pred, y)
+		net.Backward(grad)
+		opt.Step(net)
+	}
+	if loss > 0.01 {
+		t.Fatalf("XOR not learned, final loss %v", loss)
+	}
+	for i := 0; i < 4; i++ {
+		pred := net.Forward1(x.Row(i))[0]
+		if math.Abs(pred-y.Data[i]) > 0.2 {
+			t.Fatalf("XOR(%v) = %v, want %v", x.Row(i), pred, y.Data[i])
+		}
+	}
+}
+
+func TestSGDReducesLoss(t *testing.T) {
+	src := rng.New(3)
+	net := NewMLP(src, []int{2, 6, 1}, Tanh, Identity)
+	opt := NewSGD(0.1, 0.9)
+	x := FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	y := FromSlice(4, 1, []float64{0, 1, 1, 2}) // linear target: sum
+	first := -1.0
+	var last float64
+	for epoch := 0; epoch < 500; epoch++ {
+		net.ZeroGrad()
+		pred := net.Forward(x, true)
+		loss, grad := MSELoss(pred, y)
+		if first < 0 {
+			first = loss
+		}
+		last = loss
+		net.Backward(grad)
+		opt.Step(net)
+	}
+	if last >= first/10 {
+		t.Fatalf("SGD loss %v -> %v did not shrink enough", first, last)
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 1, 1}, nil)
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("uniform softmax = %v", p)
+		}
+	}
+	// Masking.
+	p = Softmax([]float64{5, 100, 5}, []bool{true, false, true})
+	if p[1] != 0 {
+		t.Fatal("masked entry got probability")
+	}
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[2]-0.5) > 1e-12 {
+		t.Fatalf("masked softmax = %v", p)
+	}
+	// Numerical stability at large logits.
+	p = Softmax([]float64{1000, 1001}, nil)
+	if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
+		t.Fatal("softmax overflow")
+	}
+	if p[1] <= p[0] {
+		t.Fatal("softmax ordering wrong")
+	}
+	// Fully masked.
+	p = Softmax([]float64{1, 2}, []bool{false, false})
+	if p[0] != 0 || p[1] != 0 {
+		t.Fatal("fully masked softmax should be zeros")
+	}
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	src := rng.New(5)
+	for trial := 0; trial < 100; trial++ {
+		logits := make([]float64, 1+src.Intn(10))
+		for i := range logits {
+			logits[i] = src.Norm(0, 10)
+		}
+		p := Softmax(logits, nil)
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				t.Fatal("negative probability")
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("softmax sum = %v", sum)
+		}
+	}
+}
+
+func TestPolicyGradientDirection(t *testing.T) {
+	// Repeatedly applying the gradient for a fixed chosen action with
+	// positive advantage must increase that action's probability.
+	logits := []float64{0.1, 0.2, 0.3}
+	action := 0
+	before := Softmax(logits, nil)[action]
+	for iter := 0; iter < 50; iter++ {
+		g := PolicyGradient(logits, nil, action, 1.0)
+		for i := range logits {
+			logits[i] -= 0.1 * g[i] // descend the loss = ascend log-prob
+		}
+	}
+	after := Softmax(logits, nil)[action]
+	if after <= before {
+		t.Fatalf("action prob %v -> %v did not increase", before, after)
+	}
+	// Negative advantage pushes the other way.
+	logits = []float64{0.1, 0.2, 0.3}
+	before = Softmax(logits, nil)[action]
+	for iter := 0; iter < 50; iter++ {
+		g := PolicyGradient(logits, nil, action, -1.0)
+		for i := range logits {
+			logits[i] -= 0.1 * g[i]
+		}
+	}
+	after = Softmax(logits, nil)[action]
+	if after >= before {
+		t.Fatalf("action prob %v -> %v did not decrease with negative advantage", before, after)
+	}
+}
+
+func TestPolicyGradientZeroSum(t *testing.T) {
+	// Σ_i grad_i = advantage·(Σπ − 1) = 0 when unmasked.
+	g := PolicyGradient([]float64{1, 2, 3}, nil, 1, 2.5)
+	var sum float64
+	for _, v := range g {
+		sum += v
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("gradient sum = %v, want 0", sum)
+	}
+}
+
+func TestEntropyBonusIncreasesEntropy(t *testing.T) {
+	logits := []float64{3, 0, 0}
+	before := Entropy(Softmax(logits, nil))
+	for iter := 0; iter < 100; iter++ {
+		g := EntropyBonusGradient(logits, nil, 0.1)
+		for i := range logits {
+			logits[i] -= 0.1 * g[i]
+		}
+	}
+	after := Entropy(Softmax(logits, nil))
+	if after <= before {
+		t.Fatalf("entropy %v -> %v did not increase", before, after)
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	g := [][]float64{{3, 4}} // norm 5
+	norm := ClipGrads(g, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	var sq float64
+	for _, v := range g[0] {
+		sq += v * v
+	}
+	if math.Abs(math.Sqrt(sq)-1) > 1e-9 {
+		t.Fatalf("post-clip norm = %v", math.Sqrt(sq))
+	}
+	// No-op cases.
+	g2 := [][]float64{{0.1}}
+	if ClipGrads(g2, 10) != 0.1 {
+		t.Fatal("norm wrong")
+	}
+	if g2[0][0] != 0.1 {
+		t.Fatal("clip applied when below max")
+	}
+	ClipGrads(g2, 0) // maxNorm<=0 is no-op
+	if g2[0][0] != 0.1 {
+		t.Fatal("clip applied with maxNorm=0")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	src := rng.New(9)
+	net := NewMLP(src, []int{4, 6, 3}, ReLU, Identity)
+	var buf bytes.Buffer
+	if err := net.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, -0.2, 1.1, 0.0}
+	a := net.Forward1(x)
+	b := loaded.Forward1(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("loaded network output differs: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	src := rng.New(11)
+	net := NewMLP(src, []int{2, 3, 1}, Tanh, Identity)
+	c := net.Clone()
+	x := []float64{1, 2}
+	if net.Forward1(x)[0] != c.Forward1(x)[0] {
+		t.Fatal("clone output differs")
+	}
+	c.Layers[0].W.Data[0] += 1
+	if net.Forward1(x)[0] == c.Forward1(x)[0] {
+		t.Fatal("clone shares weight storage")
+	}
+}
+
+func TestCopyAndSoftUpdate(t *testing.T) {
+	src := rng.New(13)
+	a := NewMLP(src, []int{2, 3, 1}, Tanh, Identity)
+	b := NewMLP(src, []int{2, 3, 1}, Tanh, Identity)
+	x := []float64{0.3, -0.7}
+	if a.Forward1(x)[0] == b.Forward1(x)[0] {
+		t.Fatal("fixture: networks should differ")
+	}
+	b.CopyWeightsFrom(a)
+	if a.Forward1(x)[0] != b.Forward1(x)[0] {
+		t.Fatal("CopyWeightsFrom did not copy")
+	}
+	// Soft update with tau=1 equals copy.
+	c := NewMLP(src, []int{2, 3, 1}, Tanh, Identity)
+	c.SoftUpdateFrom(a, 1.0)
+	if a.Forward1(x)[0] != c.Forward1(x)[0] {
+		t.Fatal("SoftUpdateFrom(tau=1) != copy")
+	}
+	// tau=0 is a no-op.
+	d := NewMLP(src, []int{2, 3, 1}, Tanh, Identity)
+	before := d.Forward1(x)[0]
+	d.SoftUpdateFrom(a, 0)
+	if d.Forward1(x)[0] != before {
+		t.Fatal("SoftUpdateFrom(tau=0) changed weights")
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	src := rng.New(15)
+	net := NewMLP(src, []int{3, 5, 2}, ReLU, Identity)
+	want := 3*5 + 5 + 5*2 + 2
+	if got := net.NumParams(); got != want {
+		t.Fatalf("NumParams = %d, want %d", got, want)
+	}
+}
+
+func TestForwardShapePanic(t *testing.T) {
+	src := rng.New(17)
+	net := NewMLP(src, []int{3, 2}, Identity, Identity)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input width did not panic")
+		}
+	}()
+	net.Forward(NewMat(1, 5), false)
+}
+
+func TestBackwardBeforeForwardPanics(t *testing.T) {
+	src := rng.New(19)
+	net := NewMLP(src, []int{2, 2}, Identity, Identity)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward before Forward did not panic")
+		}
+	}()
+	net.Backward(NewMat(1, 2))
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Single linear layer fitting y = 2x + 1.
+	src := rng.New(21)
+	net := NewMLP(src, []int{1, 1}, Identity, Identity)
+	opt := NewAdam(0.05)
+	x := FromSlice(8, 1, []float64{-2, -1.5, -1, -0.5, 0.5, 1, 1.5, 2})
+	y := NewMat(8, 1)
+	for i := range x.Data {
+		y.Data[i] = 2*x.Data[i] + 1
+	}
+	for epoch := 0; epoch < 500; epoch++ {
+		net.ZeroGrad()
+		pred := net.Forward(x, true)
+		_, grad := MSELoss(pred, y)
+		net.Backward(grad)
+		opt.Step(net)
+	}
+	w := net.Layers[0].W.Data[0]
+	b := net.Layers[0].B[0]
+	if math.Abs(w-2) > 0.05 || math.Abs(b-1) > 0.05 {
+		t.Fatalf("fit w=%v b=%v, want 2, 1", w, b)
+	}
+}

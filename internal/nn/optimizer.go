@@ -1,0 +1,81 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the gradients currently accumulated in
+	// the network, then zeroes them.
+	Step(net *MLP)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity [][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+// Step implements Optimizer.
+func (o *SGD) Step(net *MLP) {
+	params, grads := net.Params()
+	if o.velocity == nil {
+		o.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			o.velocity[i] = make([]float64, len(p))
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		v := o.velocity[i]
+		for j := range p {
+			v[j] = o.Momentum*v[j] - o.LR*g[j]
+			p[j] += v[j]
+		}
+	}
+	net.ZeroGrad()
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), the paper's choice
+// ("AdamOptimizer with a learning rate of 0.001").
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	m, v                  [][]float64
+}
+
+// NewAdam returns Adam with the standard betas and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(net *MLP) {
+	params, grads := net.Params()
+	if o.m == nil {
+		o.m = make([][]float64, len(params))
+		o.v = make([][]float64, len(params))
+		for i, p := range params {
+			o.m[i] = make([]float64, len(p))
+			o.v[i] = make([]float64, len(p))
+		}
+	}
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range params {
+		g := grads[i]
+		m, v := o.m[i], o.v[i]
+		for j := range p {
+			m[j] = o.Beta1*m[j] + (1-o.Beta1)*g[j]
+			v[j] = o.Beta2*v[j] + (1-o.Beta2)*g[j]*g[j]
+			mHat := m[j] / bc1
+			vHat := v[j] / bc2
+			p[j] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+	net.ZeroGrad()
+}

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the gob wire form of an MLP.
+type snapshot struct {
+	Layers []layerSnapshot
+}
+
+type layerSnapshot struct {
+	In, Out int
+	Act     Activation
+	W       []float64
+	B       []float64
+}
+
+// Save writes the network weights to w.
+func (m *MLP) Save(w io.Writer) error {
+	var s snapshot
+	for _, l := range m.Layers {
+		s.Layers = append(s.Layers, layerSnapshot{
+			In: l.In, Out: l.Out, Act: l.Act,
+			W: append([]float64(nil), l.W.Data...),
+			B: append([]float64(nil), l.B...),
+		})
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// Load reads network weights written by Save.
+func Load(r io.Reader) (*MLP, error) {
+	var s snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(s.Layers) == 0 {
+		return nil, fmt.Errorf("nn: load: empty network")
+	}
+	m := &MLP{}
+	for i, ls := range s.Layers {
+		if ls.In <= 0 || ls.Out <= 0 || len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
+			return nil, fmt.Errorf("nn: load: layer %d malformed", i)
+		}
+		if i > 0 && ls.In != s.Layers[i-1].Out {
+			return nil, fmt.Errorf("nn: load: layer %d width mismatch", i)
+		}
+		m.Layers = append(m.Layers, &Dense{
+			In: ls.In, Out: ls.Out, Act: ls.Act,
+			W:     FromSlice(ls.Out, ls.In, append([]float64(nil), ls.W...)),
+			B:     append([]float64(nil), ls.B...),
+			GradW: NewMat(ls.Out, ls.In),
+			GradB: make([]float64, ls.Out),
+		})
+	}
+	return m, nil
+}

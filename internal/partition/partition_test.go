@@ -1,0 +1,208 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+func TestGenerateShenzhenBasics(t *testing.T) {
+	p := GenerateShenzhen(1)
+	if p.Len() != 491 {
+		t.Fatalf("region count = %d, want 491", p.Len())
+	}
+	if !p.IsConnected() {
+		t.Fatal("partition not connected")
+	}
+	for _, r := range p.Regions() {
+		if len(r.Neighbors) == 0 {
+			t.Fatalf("region %d has no neighbors", r.ID)
+		}
+		if len(r.Neighbors) > 8 {
+			t.Fatalf("region %d has %d neighbors", r.ID, len(r.Neighbors))
+		}
+		if len(r.Polygon.Ring) < 3 {
+			t.Fatalf("region %d has degenerate polygon", r.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := GenerateShenzhen(7)
+	b := GenerateShenzhen(7)
+	for i := 0; i < a.Len(); i++ {
+		if a.Region(i).Centroid != b.Region(i).Centroid {
+			t.Fatalf("same seed produced different centroids at region %d", i)
+		}
+	}
+	c := GenerateShenzhen(8)
+	diff := false
+	for i := 0; i < a.Len(); i++ {
+		if a.Region(i).Centroid != c.Region(i).Centroid {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical partitions")
+	}
+}
+
+func TestAdjacencySymmetric(t *testing.T) {
+	p := GenerateShenzhen(2)
+	for _, r := range p.Regions() {
+		for _, nb := range r.Neighbors {
+			found := false
+			for _, back := range p.Region(nb).Neighbors {
+				if back == r.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d -> %d", r.ID, nb)
+			}
+		}
+	}
+}
+
+func TestLocateCentroidsSelf(t *testing.T) {
+	p := GenerateShenzhen(3)
+	misses := 0
+	for _, r := range p.Regions() {
+		if p.Locate(r.Centroid) != r.ID {
+			misses++
+		}
+	}
+	// Centroids of jittered quads are almost always inside their own
+	// polygon; allow a tiny number of edge cases.
+	if misses > p.Len()/100 {
+		t.Fatalf("%d/%d centroids located in wrong region", misses, p.Len())
+	}
+}
+
+func TestLocateCoversBBox(t *testing.T) {
+	p := GenerateShenzhen(4)
+	src := rng.New(99)
+	b := p.BBox()
+	for i := 0; i < 500; i++ {
+		pt := geo.Point{
+			Lng: src.Uniform(b.MinLng, b.MaxLng),
+			Lat: src.Uniform(b.MinLat, b.MaxLat),
+		}
+		id := p.Locate(pt)
+		if id < 0 || id >= p.Len() {
+			t.Fatalf("Locate returned invalid region %d", id)
+		}
+	}
+}
+
+func TestShortestPathNextMakesProgress(t *testing.T) {
+	p := GenerateShenzhen(5)
+	src := rng.New(17)
+	for trial := 0; trial < 100; trial++ {
+		from := src.Intn(p.Len())
+		to := src.Intn(p.Len())
+		dists := p.HopDistances(to)
+		next := p.ShortestPathNext(from, to)
+		if from == to {
+			if next != from {
+				t.Fatalf("ShortestPathNext(%d,%d) = %d, want stay", from, to, next)
+			}
+			continue
+		}
+		if dists[from] < 0 {
+			t.Fatalf("region %d unreachable from %d in connected partition", to, from)
+		}
+		if dists[next] != dists[from]-1 {
+			t.Fatalf("ShortestPathNext(%d,%d) = %d does not reduce hop distance (%d -> %d)",
+				from, to, next, dists[from], dists[next])
+		}
+	}
+}
+
+func TestShortestPathWalkTerminates(t *testing.T) {
+	p := GenerateShenzhen(6)
+	from, to := 0, p.Len()-1
+	cur := from
+	for steps := 0; cur != to; steps++ {
+		if steps > p.Len() {
+			t.Fatal("path walk did not terminate")
+		}
+		cur = p.ShortestPathNext(cur, to)
+	}
+}
+
+func TestHopDistances(t *testing.T) {
+	p := GenerateShenzhen(9)
+	d := p.HopDistances(0)
+	if d[0] != 0 {
+		t.Fatal("self distance not 0")
+	}
+	for _, nb := range p.Region(0).Neighbors {
+		if d[nb] != 1 {
+			t.Fatalf("neighbor %d has hop distance %d", nb, d[nb])
+		}
+	}
+	for id, dist := range d {
+		if dist < 0 {
+			t.Fatalf("region %d unreachable", id)
+		}
+	}
+}
+
+func TestDistancePositive(t *testing.T) {
+	p := GenerateShenzhen(10)
+	if p.Distance(0, 0) != 0 {
+		t.Fatal("self distance not 0")
+	}
+	if d := p.Distance(0, p.Len()-1); d <= 0 {
+		t.Fatalf("cross-city distance = %v", d)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	mkRegion := func(id int, nbs ...int) Region {
+		pg := geo.Polygon{Ring: []geo.Point{
+			{Lng: 0, Lat: 0}, {Lng: 1, Lat: 0}, {Lng: 1, Lat: 1}, {Lng: 0, Lat: 1},
+		}}
+		return Region{ID: id, Polygon: pg, Centroid: pg.Centroid(), Neighbors: nbs}
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("empty partition accepted")
+	}
+	if _, err := New([]Region{mkRegion(0, 1), mkRegion(1, 0)}); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+	if _, err := New([]Region{mkRegion(5)}); err == nil {
+		t.Error("non-dense IDs accepted")
+	}
+	if _, err := New([]Region{mkRegion(0, 0)}); err == nil {
+		t.Error("self-neighbor accepted")
+	}
+	if _, err := New([]Region{mkRegion(0, 1), mkRegion(1)}); err == nil {
+		t.Error("asymmetric adjacency accepted")
+	}
+	if _, err := New([]Region{mkRegion(0, 9), mkRegion(1, 0)}); err == nil {
+		t.Error("unknown neighbor accepted")
+	}
+}
+
+func TestGenerateSmall(t *testing.T) {
+	for _, n := range []int{4, 10, 25, 100} {
+		p, err := Generate(42, n, ShenzhenBBox)
+		if err != nil {
+			t.Fatalf("Generate(n=%d): %v", n, err)
+		}
+		if p.Len() != n {
+			t.Fatalf("Generate(n=%d) produced %d regions", n, p.Len())
+		}
+		if !p.IsConnected() {
+			t.Fatalf("Generate(n=%d) disconnected", n)
+		}
+	}
+	if _, err := Generate(42, 3, ShenzhenBBox); err == nil {
+		t.Error("Generate(n=3) should fail")
+	}
+}

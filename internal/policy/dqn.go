@@ -1,0 +1,258 @@
+package policy
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// DQN is the Deep Q-Network baseline [23]: a single network shared by all
+// agents maps the observation to one Q-value per displacement action and is
+// trained by minimizing the TD loss against a periodically updated target
+// network, with experience replay and an ε-greedy behavior policy. The
+// reward is the same Eq. 5 blend as FairMove.
+type DQN struct {
+	Alpha   float64 // reward blend α
+	Gamma   float64 // discount β
+	Epsilon float64 // initial exploration
+	MinEps  float64
+	Hidden  []int // hidden layer widths
+	LR      float64
+	Batch   int
+	Buffer  int // replay capacity
+	// TargetEvery is the number of gradient steps between target updates.
+	TargetEvery int
+	// CQLAlpha weights a conservative penalty that pushes down the Q-values
+	// of actions absent from the replay data while raising the taken
+	// action's. Without it, actions never tried in the demonstrations keep
+	// their random initialization and the greedy policy exploits them —
+	// the standard offline-RL overestimation failure.
+	CQLAlpha float64
+
+	// EvalEpsilon adds a small random-valid-action rate at evaluation time.
+	// A deterministic argmax executed simultaneously by every agent in a
+	// region herds them onto one station; a little jitter restores the
+	// dispersion a centralized dispatcher would impose.
+	EvalEpsilon float64
+
+	net    *nn.MLP
+	target *nn.MLP
+	opt    *nn.Adam
+	replay []Transition
+	rpPos  int
+	src    *rng.Source
+	steps  int
+
+	exploring bool
+	eps       float64
+}
+
+// NewDQN returns an untrained DQN with the paper's optimizer settings
+// (Adam, lr 0.001) at a batch size scaled to the repro fleet.
+func NewDQN(alpha float64, seed int64) *DQN {
+	d := &DQN{
+		Alpha:       alpha,
+		Gamma:       0.9,
+		Epsilon:     0.15,
+		MinEps:      0.05,
+		Hidden:      []int{64, 64},
+		LR:          0.001,
+		Batch:       64,
+		Buffer:      50000,
+		TargetEvery: 200,
+		EvalEpsilon: 0.03,
+		CQLAlpha:    0.3,
+		src:         rng.SplitStable(seed, "dqn-init"),
+	}
+	sizes := append([]int{sim.FeatureSize}, d.Hidden...)
+	sizes = append(sizes, sim.NumActions)
+	d.net = nn.NewMLP(d.src, sizes, nn.ReLU, nn.Identity)
+	d.target = d.net.Clone()
+	d.opt = nn.NewAdam(d.LR)
+	d.eps = d.Epsilon
+	return d
+}
+
+// Name implements Policy.
+func (d *DQN) Name() string { return "DQN" }
+
+// BeginEpisode implements Policy.
+func (d *DQN) BeginEpisode(seed int64) { d.src = rng.SplitStable(seed, "dqn") }
+
+// greedy returns the valid action with the highest Q.
+func (d *DQN) greedy(net *nn.MLP, obs []float64, mask [sim.NumActions]bool) (int, float64) {
+	qs := net.Forward1(obs)
+	best, bestQ := -1, math.Inf(-1)
+	for i := 0; i < sim.NumActions; i++ {
+		if mask[i] && qs[i] > bestQ {
+			best, bestQ = i, qs[i]
+		}
+	}
+	if best < 0 {
+		return 0, 0
+	}
+	return best, bestQ
+}
+
+func (d *DQN) choose(obs sim.Observation) int {
+	eps := d.EvalEpsilon
+	if d.exploring {
+		eps = d.eps
+	}
+	if d.src.Bool(eps) {
+		var valid []int
+		for i, ok := range obs.Mask {
+			if ok {
+				valid = append(valid, i)
+			}
+		}
+		if len(valid) == 0 {
+			return 0
+		}
+		return valid[d.src.Intn(len(valid))]
+	}
+	a, _ := d.greedy(d.net, obs.Features, obs.Mask)
+	return a
+}
+
+// Act implements Policy (greedy over the learned network).
+func (d *DQN) Act(env *sim.Env, vacant []int) map[int]sim.Action {
+	actions := make(map[int]sim.Action, len(vacant))
+	for _, id := range vacant {
+		obs := env.Observe(id)
+		actions[id] = sim.ActionFromIndex(d.choose(obs))
+	}
+	return actions
+}
+
+// remember stores a transition in the ring-buffer replay memory.
+func (d *DQN) remember(tr Transition) {
+	if len(d.replay) < d.Buffer {
+		d.replay = append(d.replay, tr)
+		return
+	}
+	d.replay[d.rpPos] = tr
+	d.rpPos = (d.rpPos + 1) % d.Buffer
+}
+
+// learn samples a minibatch and takes one TD step:
+// L(θ) = E[(Q(s,a;θ) − y)²], y = r + β^elapsed · max_a' Q̂(s',a').
+func (d *DQN) learn() {
+	if len(d.replay) < d.Batch {
+		return
+	}
+	d.net.ZeroGrad()
+	x := nn.NewMat(d.Batch, sim.FeatureSize)
+	grad := nn.NewMat(d.Batch, sim.NumActions)
+	idxs := make([]int, d.Batch)
+	for b := 0; b < d.Batch; b++ {
+		idxs[b] = d.src.Intn(len(d.replay))
+		copy(x.Row(b), d.replay[idxs[b]].Obs)
+	}
+	pred := d.net.Forward(x, true)
+	for b := 0; b < d.Batch; b++ {
+		tr := d.replay[idxs[b]]
+		y := tr.Reward
+		if !tr.Terminal {
+			_, nq := d.greedy(d.target, tr.NextObs, tr.NextMask)
+			y += math.Pow(d.Gamma, float64(tr.Elapsed)) * nq
+		}
+		// Gradient only on the taken action's output.
+		diff := pred.At(b, tr.Action) - y
+		grad.Set(b, tr.Action, 2*diff/float64(d.Batch))
+		// Conservative penalty (CQL-lite): lift the taken action relative
+		// to every other valid action.
+		if d.CQLAlpha > 0 {
+			var valid int
+			for j := 0; j < sim.NumActions; j++ {
+				if tr.Mask[j] {
+					valid++
+				}
+			}
+			if valid > 1 {
+				for j := 0; j < sim.NumActions; j++ {
+					if tr.Mask[j] && j != tr.Action {
+						grad.Set(b, j, grad.At(b, j)+d.CQLAlpha/float64(valid-1)/float64(d.Batch))
+					}
+				}
+				grad.Set(b, tr.Action, grad.At(b, tr.Action)-d.CQLAlpha/float64(d.Batch))
+			}
+		}
+	}
+	d.net.Backward(grad)
+	params, grads := d.net.Params()
+	_ = params
+	nn.ClipGrads(grads, 5)
+	d.opt.Step(d.net)
+
+	d.steps++
+	if d.steps%d.TargetEvery == 0 {
+		d.target.CopyWeightsFrom(d.net)
+	}
+}
+
+// Pretrain seeds the replay buffer with demonstration episodes driven by
+// guide and performs offline Q-learning steps on them — a warm start before
+// on-policy Train. Q-learning is off-policy, so learning from ground-truth
+// driver trajectories is sound and lets the network start from competent
+// behavior instead of random queue-flooding exploration.
+func (d *DQN) Pretrain(city *synth.City, guide Policy, episodes, days int, seed int64) {
+	env := sim.New(city, sim.DefaultOptions(days), seed)
+	for ep := 0; ep < episodes; ep++ {
+		epSeed := seed + 7000 + int64(ep)
+		env.Reset(epSeed)
+		guide.BeginEpisode(epSeed)
+		d.BeginEpisode(epSeed)
+		chooser := PolicyChooser(env, guide)
+		RunEpisode(env,
+			func(id int, obs sim.Observation) int { return chooser(id, obs) },
+			d.Alpha, d.Gamma,
+			func(id int, tr Transition) { d.remember(tr) },
+		)
+		// Offline sweep over the demonstration data.
+		steps := len(d.replay) / d.Batch
+		for i := 0; i < steps; i++ {
+			d.learn()
+		}
+	}
+}
+
+// Train runs episodes of environment interaction with replay learning.
+func (d *DQN) Train(city *synth.City, episodes, days int, seed int64) TrainStats {
+	stats := TrainStats{Episodes: episodes}
+	env := sim.New(city, sim.DefaultOptions(days), seed)
+	for ep := 0; ep < episodes; ep++ {
+		epSeed := seed + int64(ep)
+		env.Reset(epSeed)
+		d.BeginEpisode(epSeed)
+		d.exploring = true
+		// Linear ε decay across episodes.
+		if episodes > 1 {
+			frac := float64(ep) / float64(episodes-1)
+			d.eps = d.Epsilon + (d.MinEps-d.Epsilon)*frac
+		}
+		learnEvery := 4
+		nSeen := 0
+		mean := RunEpisode(env,
+			func(id int, obs sim.Observation) int { return d.choose(obs) },
+			d.Alpha, d.Gamma,
+			func(id int, tr Transition) {
+				d.remember(tr)
+				nSeen++
+				if nSeen%learnEvery == 0 {
+					d.learn()
+				}
+			},
+		)
+		stats.MeanReward = append(stats.MeanReward, mean)
+	}
+	d.exploring = false
+	stats.FinalEpsilon = d.eps
+	return stats
+}
+
+// Net exposes the online network (for serialization).
+func (d *DQN) Net() *nn.MLP { return d.net }

@@ -1,0 +1,277 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+func testCity(t *testing.T, seed int64) *synth.City {
+	t.Helper()
+	city, err := synth.Build(synth.TestConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return city
+}
+
+func TestEvaluateRunsAllPolicies(t *testing.T) {
+	city := testCity(t, 1)
+	env := sim.New(city, sim.DefaultOptions(1), 1)
+	policies := []Policy{NewGroundTruth(), NewSD2(), NewTQL(0.6), NewDQN(0.6, 1), NewTBA(1)}
+	for _, p := range policies {
+		res := Evaluate(p, env, 1)
+		if res.Slots != 144 {
+			t.Fatalf("%s: slots = %d", p.Name(), res.Slots)
+		}
+		if res.ServedRequests == 0 {
+			t.Fatalf("%s: served no requests", p.Name())
+		}
+		if env.InvalidActions() > 0 {
+			t.Fatalf("%s: produced %d invalid actions", p.Name(), env.InvalidActions())
+		}
+	}
+}
+
+func TestEvaluateSameSeedSameDemand(t *testing.T) {
+	city := testCity(t, 2)
+	env := sim.New(city, sim.DefaultOptions(1), 1)
+	a := Evaluate(NewGroundTruth(), env, 5)
+	total1 := a.ServedRequests + a.UnservedRequests
+	b := Evaluate(NewSD2(), env, 5)
+	total2 := b.ServedRequests + b.UnservedRequests
+	if total1 != total2 {
+		t.Fatalf("same seed produced different demand volumes: %d vs %d", total1, total2)
+	}
+}
+
+func TestGroundTruthChargesOffPeak(t *testing.T) {
+	city := testCity(t, 3)
+	env := sim.New(city, sim.DefaultOptions(2), 3)
+	res := Evaluate(NewGroundTruth(), env, 3)
+	if len(res.ChargeStats) == 0 {
+		t.Skip("no charging in this short run")
+	}
+	// Opportunistic cheap charging should put a visible share of plug-ins
+	// into the off-peak hours 2-5, 12-13, 17 (Fig. 4 behavior).
+	offPeak := 0
+	total := 0
+	for h, c := range res.ChargeStartsByHour {
+		total += c
+		if (h >= 2 && h < 6) || h == 12 || h == 13 || h == 17 {
+			offPeak += c
+		}
+	}
+	if total == 0 {
+		t.Skip("no plug-ins recorded")
+	}
+	frac := float64(offPeak) / float64(total)
+	// Off-peak hours are 7 of 24 = 29% of the day; behavior should push the
+	// share above that.
+	if frac < 0.3 {
+		t.Errorf("off-peak plug-in share %.2f; cheap-charging habit not visible", frac)
+	}
+}
+
+func TestSD2AlwaysNearestStation(t *testing.T) {
+	city := testCity(t, 4)
+	env := sim.New(city, sim.DefaultOptions(1), 4)
+	env.Reset(4)
+	sd2 := NewSD2()
+	sd2.BeginEpisode(4)
+	// Force a low-SoC taxi and confirm the action targets station rank 0.
+	vacant := env.VacantTaxis()
+	id := vacant[0]
+	// Drain its battery through the public-ish path: run Act with the SoC
+	// as built; directly checking the decision rule instead.
+	actions := sd2.Act(env, []int{id})
+	a := actions[id]
+	if env.TaxiSoC(id) < 0.20 && (a.Kind != sim.Charge || a.Arg != 0) {
+		t.Fatalf("low-SoC SD2 action = %v, want charge(0)", a)
+	}
+	// All actions must be valid kinds.
+	for _, a := range actions {
+		if a.Kind != sim.Stay && a.Kind != sim.Move && a.Kind != sim.Charge {
+			t.Fatalf("invalid action kind %v", a.Kind)
+		}
+	}
+}
+
+func TestSD2MovesTowardDemand(t *testing.T) {
+	city := testCity(t, 5)
+	env := sim.New(city, sim.DefaultOptions(1), 5)
+	env.Reset(5)
+	sd2 := NewSD2()
+	// Step a few slots; SD2 should produce at least some Move actions over a
+	// day (taxis in dead zones walk toward demand).
+	moves := 0
+	for i := 0; i < 36 && !env.Done(); i++ {
+		vacant := env.VacantTaxis()
+		acts := sd2.Act(env, vacant)
+		for _, a := range acts {
+			if a.Kind == sim.Move {
+				moves++
+			}
+		}
+		env.Step(acts)
+	}
+	if moves == 0 {
+		t.Error("SD2 never moved toward demand in 6 hours")
+	}
+}
+
+func TestTQLTrainingImprovesTable(t *testing.T) {
+	city := testCity(t, 6)
+	tql := NewTQL(0.6)
+	stats := tql.Train(city, 2, 1, 6)
+	if stats.Episodes != 2 || len(stats.MeanReward) != 2 {
+		t.Fatalf("train stats wrong: %+v", stats)
+	}
+	if stats.StatesVisited == 0 {
+		t.Fatal("Q-table empty after training")
+	}
+	// After training, greedy evaluation must run cleanly.
+	env := sim.New(city, sim.DefaultOptions(1), 6)
+	res := Evaluate(tql, env, 6)
+	if res.ServedRequests == 0 {
+		t.Fatal("trained TQL served nothing")
+	}
+}
+
+func TestDQNLearnChangesWeights(t *testing.T) {
+	city := testCity(t, 7)
+	dqn := NewDQN(0.6, 7)
+	before := dqn.Net().Clone()
+	dqn.Train(city, 1, 1, 7)
+	x := make([]float64, sim.FeatureSize)
+	for i := range x {
+		x[i] = 0.1
+	}
+	a := before.Forward1(x)
+	b := dqn.Net().Forward1(x)
+	changed := false
+	for i := range a {
+		if a[i] != b[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("DQN training did not move the network")
+	}
+}
+
+func TestDQNRespectsMaskInGreedy(t *testing.T) {
+	dqn := NewDQN(0.6, 8)
+	obs := sim.Observation{Features: make([]float64, sim.FeatureSize)}
+	// Only action 3 valid.
+	obs.Mask[3] = true
+	if got := dqn.choose(obs); got != 3 {
+		t.Fatalf("masked greedy chose %d, want 3", got)
+	}
+}
+
+func TestTBASamplesValidActions(t *testing.T) {
+	tba := NewTBA(9)
+	tba.exploring = true
+	tba.BeginEpisode(9)
+	obs := sim.Observation{Features: make([]float64, sim.FeatureSize)}
+	obs.Mask[0] = true
+	obs.Mask[5] = true
+	for i := 0; i < 100; i++ {
+		a := tba.sample(obs)
+		if a != 0 && a != 5 {
+			t.Fatalf("sampled masked action %d", a)
+		}
+	}
+}
+
+func TestTBATrainRuns(t *testing.T) {
+	city := testCity(t, 10)
+	tba := NewTBA(10)
+	stats := tba.Train(city, 1, 1, 10)
+	if len(stats.MeanReward) != 1 {
+		t.Fatalf("train stats wrong: %+v", stats)
+	}
+	env := sim.New(city, sim.DefaultOptions(1), 10)
+	res := Evaluate(tba, env, 10)
+	if res.ServedRequests == 0 {
+		t.Fatal("trained TBA served nothing")
+	}
+}
+
+func TestRunEpisodeTransitionsWellFormed(t *testing.T) {
+	city := testCity(t, 11)
+	env := sim.New(city, sim.DefaultOptions(1), 11)
+	env.Reset(11)
+	var n, terminals int
+	mean := RunEpisode(env,
+		func(id int, obs sim.Observation) int {
+			// Always choose the first valid action.
+			for i, ok := range obs.Mask {
+				if ok {
+					return i
+				}
+			}
+			return 0
+		},
+		0.6, 0.9,
+		func(id int, tr Transition) {
+			n++
+			if len(tr.Obs) != sim.FeatureSize {
+				t.Fatalf("obs width %d", len(tr.Obs))
+			}
+			if tr.Action < 0 || tr.Action >= sim.NumActions {
+				t.Fatalf("action %d out of range", tr.Action)
+			}
+			if tr.Elapsed < 1 {
+				t.Fatalf("elapsed %d < 1", tr.Elapsed)
+			}
+			if !tr.Mask[tr.Action] {
+				t.Fatal("transition action was masked")
+			}
+			if tr.Terminal {
+				terminals++
+				if tr.NextObs != nil {
+					t.Fatal("terminal transition has next obs")
+				}
+			} else if len(tr.NextObs) != sim.FeatureSize {
+				t.Fatal("non-terminal transition missing next obs")
+			}
+			if math.IsNaN(tr.Reward) || math.IsInf(tr.Reward, 0) {
+				t.Fatalf("bad reward %v", tr.Reward)
+			}
+		},
+	)
+	if n == 0 {
+		t.Fatal("no transitions")
+	}
+	if terminals == 0 {
+		t.Fatal("no terminal transitions at horizon")
+	}
+	if math.IsNaN(mean) {
+		t.Fatal("NaN mean reward")
+	}
+}
+
+func TestSlotRewardAlphaBoundaries(t *testing.T) {
+	city := testCity(t, 12)
+	env := sim.New(city, sim.DefaultOptions(1), 12)
+	env.Reset(12)
+	env.Step(nil)
+	_, pf := env.FleetPEStats()
+	id := 0
+	// α=1: pure profit efficiency; α=0: pure (negated) unfairness.
+	r1 := SlotReward(env, id, 1, pf)
+	r0 := SlotReward(env, id, 0, pf)
+	slotHours := float64(env.SlotLen()) / 60
+	wantR1 := env.SlotProfit(id) / slotHours * RewardScale
+	if math.Abs(r1-wantR1) > 1e-12 {
+		t.Fatalf("alpha=1 reward %v, want %v", r1, wantR1)
+	}
+	if math.Abs(r0-(-pf*RewardScale)) > 1e-12 {
+		t.Fatalf("alpha=0 reward %v, want %v", r0, -pf*RewardScale)
+	}
+}

@@ -1,0 +1,219 @@
+package policy
+
+import (
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// TBA is the Trip Bandit Approach of the SIGSPATIAL Cup 2019 [6]: a
+// reinforcement-learning policy trained with the plain REINFORCE rule [24].
+// Its two defining differences from FairMove, both preserved here: (i)
+// agents are purely competitive — the reward is each taxi's own profit with
+// no fairness term — and (ii) there is no critic; returns are Monte-Carlo
+// with a running mean baseline.
+type TBA struct {
+	Gamma  float64
+	LR     float64
+	Hidden []int
+
+	net *nn.MLP
+	opt *nn.Adam
+	src *rng.Source
+
+	// running return baseline
+	baseline float64
+	baseN    int
+
+	// demo holds Pretrain transitions; Train replays behavior-cloning
+	// batches from it to anchor the actor while REINFORCE returns are noisy.
+	demo []Transition
+
+	exploring bool
+}
+
+// NewTBA returns an untrained TBA baseline.
+func NewTBA(seed int64) *TBA {
+	t := &TBA{
+		Gamma:  0.9,
+		LR:     0.001,
+		Hidden: []int{64},
+		src:    rng.SplitStable(seed, "tba-init"),
+	}
+	sizes := append([]int{sim.FeatureSize}, t.Hidden...)
+	sizes = append(sizes, sim.NumActions)
+	t.net = nn.NewMLP(t.src, sizes, nn.Tanh, nn.Identity)
+	t.opt = nn.NewAdam(t.LR)
+	return t
+}
+
+// Name implements Policy.
+func (t *TBA) Name() string { return "TBA" }
+
+// BeginEpisode implements Policy.
+func (t *TBA) BeginEpisode(seed int64) { t.src = rng.SplitStable(seed, "tba") }
+
+// sample draws an action from the masked softmax policy. Sampling is used
+// at evaluation time too: identical agents sharing an observation disperse
+// naturally under a stochastic policy, where an argmax would herd them.
+func (t *TBA) sample(obs sim.Observation) int {
+	logits := t.net.Forward1(obs.Features)
+	mask := make([]bool, sim.NumActions)
+	for i := range mask {
+		mask[i] = obs.Mask[i]
+	}
+	return t.src.WeightedChoice(nn.Softmax(logits, mask))
+}
+
+// Act implements Policy.
+func (t *TBA) Act(env *sim.Env, vacant []int) map[int]sim.Action {
+	actions := make(map[int]sim.Action, len(vacant))
+	for _, id := range vacant {
+		obs := env.Observe(id)
+		actions[id] = sim.ActionFromIndex(t.sample(obs))
+	}
+	return actions
+}
+
+// Pretrain behavior-clones the actor toward guide's decisions over
+// demonstration episodes — a warm start before REINFORCE fine-tuning. The
+// cross-entropy gradient is the policy gradient with unit advantage.
+func (t *TBA) Pretrain(city *synth.City, guide Policy, episodes, days int, seed int64) {
+	env := sim.New(city, sim.DefaultOptions(days), seed)
+	for ep := 0; ep < episodes; ep++ {
+		epSeed := seed + 7000 + int64(ep)
+		env.Reset(epSeed)
+		guide.BeginEpisode(epSeed)
+		t.BeginEpisode(epSeed)
+		var batch []Transition
+		chooser := PolicyChooser(env, guide)
+		RunEpisode(env,
+			func(id int, obs sim.Observation) int { return chooser(id, obs) },
+			1.0, t.Gamma,
+			func(id int, tr Transition) { batch = append(batch, tr) },
+		)
+		t.net.ZeroGrad()
+		for i, tr := range batch {
+			logits := t.net.Forward(nn.FromSlice(1, sim.FeatureSize, tr.Obs), true)
+			mask := make([]bool, sim.NumActions)
+			for j := range mask {
+				mask[j] = tr.Mask[j]
+			}
+			pg := nn.PolicyGradient(logits.Row(0), mask, tr.Action, 1.0)
+			t.net.Backward(nn.FromSlice(1, sim.NumActions, pg))
+			if (i+1)%64 == 0 {
+				_, grads := t.net.Params()
+				nn.ClipGrads(grads, 5)
+				t.opt.Step(t.net)
+				t.net.ZeroGrad()
+			}
+		}
+		_, grads := t.net.Params()
+		nn.ClipGrads(grads, 5)
+		t.opt.Step(t.net)
+		t.demo = append(t.demo, batch...)
+	}
+}
+
+// Train runs REINFORCE episodes. Rewards are selfish (α = 1: own profit
+// only), matching the competitive setting of [6].
+func (t *TBA) Train(city *synth.City, episodes, days int, seed int64) TrainStats {
+	stats := TrainStats{Episodes: episodes}
+	env := sim.New(city, sim.DefaultOptions(days), seed)
+
+	// Gentle fine-tuning after a warm start (see FairMove.Train): REINFORCE
+	// returns are noisy, so polish rather than overwrite the demonstrated
+	// policy.
+	if len(t.demo) > 0 {
+		t.opt = nn.NewAdam(t.LR * 0.1)
+	}
+	for ep := 0; ep < episodes; ep++ {
+		epSeed := seed + int64(ep)
+		env.Reset(epSeed)
+		t.BeginEpisode(epSeed)
+		t.exploring = true
+
+		var batch []Transition
+		mean := RunEpisode(env,
+			func(id int, obs sim.Observation) int { return t.sample(obs) },
+			1.0, // selfish: no fairness term
+			t.Gamma,
+			func(id int, tr Transition) { batch = append(batch, tr) },
+		)
+		stats.MeanReward = append(stats.MeanReward, mean)
+
+		// Demonstration anchor (see FairMove): occasional cloning batches
+		// keep the actor near competent behavior while returns are noisy.
+		for i := 0; i+64 <= len(t.demo) && i < 20*64; i += 64 {
+			t.net.ZeroGrad()
+			for b := 0; b < 64; b++ {
+				tr := t.demo[t.src.Intn(len(t.demo))]
+				logits := t.net.Forward(nn.FromSlice(1, sim.FeatureSize, tr.Obs), true)
+				mask := make([]bool, sim.NumActions)
+				for j := range mask {
+					mask[j] = tr.Mask[j]
+				}
+				pg := nn.PolicyGradient(logits.Row(0), mask, tr.Action, 1.0/64)
+				t.net.Backward(nn.FromSlice(1, sim.NumActions, pg))
+			}
+			_, grads := t.net.Params()
+			nn.ClipGrads(grads, 5)
+			t.opt.Step(t.net)
+		}
+
+		// REINFORCE update over the episode's decisions with a running
+		// baseline: ∇ = Σ (G − b) ∇ log π(a|s).
+		t.net.ZeroGrad()
+		nUpd := 0
+		for _, tr := range batch {
+			g := tr.Reward
+			t.baseN++
+			t.baseline += (g - t.baseline) / float64(t.baseN)
+			adv := g - t.baseline
+			if adv == 0 {
+				continue
+			}
+			logits := t.net.Forward(nn.FromSlice(1, sim.FeatureSize, tr.Obs), true)
+			mask := make([]bool, sim.NumActions)
+			for i := range mask {
+				mask[i] = tr.Mask[i]
+			}
+			pg := nn.PolicyGradient(logits.Row(0), mask, tr.Action, adv)
+			gm := nn.FromSlice(1, sim.NumActions, pg)
+			t.net.Backward(gm)
+			nUpd++
+			if nUpd%64 == 0 {
+				_, grads := t.net.Params()
+				nn.ClipGrads(grads, 5)
+				t.opt.Step(t.net)
+				t.net.ZeroGrad()
+			}
+		}
+		if nUpd%64 != 0 {
+			_, grads := t.net.Params()
+			nn.ClipGrads(grads, 5)
+			t.opt.Step(t.net)
+		}
+	}
+	t.exploring = false
+	return stats
+}
+
+// Entropy returns the mean policy entropy over a sample of observations,
+// a diagnostic used in tests.
+func (t *TBA) Entropy(obs []sim.Observation) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, o := range obs {
+		logits := t.net.Forward1(o.Features)
+		mask := make([]bool, sim.NumActions)
+		for i := range mask {
+			mask[i] = o.Mask[i]
+		}
+		sum += nn.Entropy(nn.Softmax(logits, mask))
+	}
+	return sum / float64(len(obs))
+}

@@ -1,0 +1,62 @@
+package pricing
+
+// FareSchedule is a taxi fare model in the style of the Shenzhen taxi
+// tariff: a flag-fall covering the first FlagDistanceKm kilometres, a per-km
+// rate beyond that, a per-minute charge compensating slow traffic, and a
+// night surcharge multiplier between NightStartHour and NightEndHour.
+type FareSchedule struct {
+	FlagFallCNY    float64 // base fare
+	FlagDistanceKm float64 // distance included in the flag fall
+	PerKmCNY       float64 // rate beyond the flag distance
+	PerMinuteCNY   float64 // time charge applied to the whole trip
+	NightSurcharge float64 // multiplier (e.g. 1.3) applied during night hours
+	NightStartHour int     // inclusive, 0-23
+	NightEndHour   int     // exclusive, 0-23
+}
+
+// ShenzhenFares returns a fare schedule close to the published Shenzhen taxi
+// tariff (2019): 10 CNY flag fall for 2 km, 2.6 CNY/km after, 0.8 CNY/min
+// waiting-time equivalent, 30% night surcharge 23:00-06:00.
+func ShenzhenFares() FareSchedule {
+	return FareSchedule{
+		FlagFallCNY:    10.0,
+		FlagDistanceKm: 2.0,
+		PerKmCNY:       2.6,
+		PerMinuteCNY:   0.8,
+		NightSurcharge: 1.3,
+		NightStartHour: 23,
+		NightEndHour:   6,
+	}
+}
+
+// IsNight reports whether hour (0-23) falls in the surcharge window,
+// handling windows that wrap past midnight.
+func (f FareSchedule) IsNight(hour int) bool {
+	if f.NightSurcharge <= 1 {
+		return false
+	}
+	if f.NightStartHour <= f.NightEndHour {
+		return hour >= f.NightStartHour && hour < f.NightEndHour
+	}
+	return hour >= f.NightStartHour || hour < f.NightEndHour
+}
+
+// Fare returns the CNY revenue of a trip of distanceKm kilometres lasting
+// durationMin minutes that started at the given hour of day.
+func (f FareSchedule) Fare(distanceKm, durationMin float64, hour int) float64 {
+	if distanceKm < 0 {
+		distanceKm = 0
+	}
+	if durationMin < 0 {
+		durationMin = 0
+	}
+	fare := f.FlagFallCNY
+	if extra := distanceKm - f.FlagDistanceKm; extra > 0 {
+		fare += extra * f.PerKmCNY
+	}
+	fare += durationMin * f.PerMinuteCNY
+	if f.IsNight(hour) {
+		fare *= f.NightSurcharge
+	}
+	return fare
+}

@@ -1,0 +1,324 @@
+// Package report regenerates every table and figure of the paper's
+// evaluation (Section IV) as formatted text plus raw series. Both the
+// benchtab command and the root bench_test.go drive it, so the same code
+// path produces the human-readable report and the benchmark measurements.
+//
+// Experiment index (see DESIGN.md §4): Figs. 3-8 are the data-driven
+// findings computed from a ground-truth run; Figs. 10-16 and Tables II-III
+// compare the six displacement strategies on identical demand; Table IV
+// sweeps the fairness weight α.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+// Experiment scales.
+const (
+	// ScaleSmall is for unit tests and quick smoke runs (seconds).
+	ScaleSmall Scale = iota
+	// ScaleDefault is the benchmark scale used in EXPERIMENTS.md (minutes).
+	ScaleDefault
+	// ScaleFull is the paper's full fleet (hours; -full runs only).
+	ScaleFull
+)
+
+// Config sizes one report run.
+type Config struct {
+	Seed             int64
+	Scale            Scale
+	Days             int // evaluation horizon after warmup
+	WarmupDays       int
+	PretrainEpisodes int
+	TrainEpisodes    int
+	Alpha            float64
+}
+
+// DefaultConfig returns the configuration for a scale.
+func DefaultConfig(seed int64, scale Scale) Config {
+	c := Config{
+		Seed:             seed,
+		Scale:            scale,
+		Days:             2,
+		WarmupDays:       1,
+		PretrainEpisodes: 4,
+		TrainEpisodes:    6,
+		Alpha:            0.6,
+	}
+	if scale == ScaleSmall {
+		c.Days = 1
+		c.PretrainEpisodes = 1
+		c.TrainEpisodes = 1
+	}
+	return c
+}
+
+// cityConfig maps a scale to a synthetic-city configuration.
+func (c Config) cityConfig() synth.Config {
+	switch c.Scale {
+	case ScaleFull:
+		return synth.FullScaleConfig(c.Seed)
+	case ScaleSmall:
+		return synth.Config{
+			Seed: c.Seed, Regions: 40, Stations: 10, Fleet: 120,
+			TripsPerDay: 15 * 120, SlotMinutes: 10,
+		}
+	default:
+		return synth.Config{
+			Seed: c.Seed, Regions: 75, Stations: 18, Fleet: 300,
+			TripsPerDay: 15 * 300, SlotMinutes: 10,
+		}
+	}
+}
+
+// MethodNames is the report order of the compared strategies.
+var MethodNames = []string{"GT", "SD2", "TQL", "DQN", "TBA", "FairMove"}
+
+// Bundle holds everything needed to print the full report.
+type Bundle struct {
+	Config  Config
+	City    *synth.City
+	Results map[string]*sim.Results // by method name
+	// AlphaRewards maps swept α values to the final-episode mean reward
+	// (Table IV); AlphaPE and AlphaPF are the evaluated fleet metrics of
+	// each α-trained policy. Populated by RunAlphaSweep.
+	Alphas       []float64
+	AlphaRewards []float64
+	AlphaPE      []float64
+	AlphaPF      []float64
+	// Ablations maps ablation names to results (populated by RunAblations).
+	Ablations map[string]*sim.Results
+
+	// policyCache retains the trained policies so ablations can re-evaluate
+	// them under modified environments.
+	policyCache map[string]policy.Policy
+}
+
+// simOptions returns the shared evaluation protocol.
+func (c Config) simOptions() sim.Options {
+	opts := sim.DefaultOptions(c.Days)
+	opts.WarmupDays = c.WarmupDays
+	return opts
+}
+
+// evaluate runs p on a fresh environment over the bundle's city.
+func (c Config) evaluate(city *synth.City, p policy.Policy) *sim.Results {
+	env := sim.New(city, c.simOptions(), c.Seed)
+	return policy.Evaluate(p, env, c.Seed+1000)
+}
+
+// BuildPolicies constructs and trains the six strategies with the shared
+// teacher-guided protocol.
+func (c Config) BuildPolicies(city *synth.City) map[string]policy.Policy {
+	teacher := policy.NewCoordinator()
+	out := map[string]policy.Policy{
+		"GT":  policy.NewGroundTruth(),
+		"SD2": policy.NewSD2(),
+	}
+
+	tql := policy.NewTQL(c.Alpha)
+	tql.Pretrain(city, teacher, c.PretrainEpisodes, 1, c.Seed)
+	tql.Train(city, c.TrainEpisodes, 1, c.Seed)
+	out["TQL"] = tql
+
+	dqn := policy.NewDQN(c.Alpha, c.Seed)
+	dqn.Pretrain(city, teacher, c.PretrainEpisodes, 1, c.Seed)
+	dqn.Train(city, (c.TrainEpisodes+1)/2, 1, c.Seed)
+	out["DQN"] = dqn
+
+	tba := policy.NewTBA(c.Seed)
+	tba.Pretrain(city, teacher, c.PretrainEpisodes, 1, c.Seed)
+	tba.Train(city, (c.TrainEpisodes+1)/2, 1, c.Seed)
+	out["TBA"] = tba
+
+	fm, err := core.New(core.DefaultConfig(c.Alpha, c.Seed))
+	if err != nil {
+		panic("report: " + err.Error())
+	}
+	fm.Pretrain(city, teacher, c.PretrainEpisodes, 1, c.Seed)
+	fm.Train(city, c.TrainEpisodes, 1, c.Seed)
+	out["FairMove"] = fm
+
+	return out
+}
+
+// Run executes the whole comparison and returns the bundle.
+func Run(cfg Config) (*Bundle, error) {
+	city, err := synth.Build(cfg.cityConfig())
+	if err != nil {
+		return nil, err
+	}
+	pols := cfg.BuildPolicies(city)
+	b := &Bundle{
+		Config:    cfg,
+		City:      city,
+		Results:   make(map[string]*sim.Results, len(pols)),
+		Ablations: make(map[string]*sim.Results),
+	}
+	for name, p := range pols {
+		b.Results[name] = cfg.evaluate(city, p)
+	}
+	return b, nil
+}
+
+// RunGTOnly executes just the ground-truth run (enough for Figs. 3-8).
+func RunGTOnly(cfg Config) (*Bundle, error) {
+	city, err := synth.Build(cfg.cityConfig())
+	if err != nil {
+		return nil, err
+	}
+	b := &Bundle{
+		Config:    cfg,
+		City:      city,
+		Results:   map[string]*sim.Results{"GT": cfg.evaluate(city, policy.NewGroundTruth())},
+		Ablations: make(map[string]*sim.Results),
+	}
+	return b, nil
+}
+
+// RunAlphaSweep trains a fresh FairMove per α and records the final-episode
+// mean decision reward (Table IV).
+func (b *Bundle) RunAlphaSweep(alphas []float64) error {
+	sorted := append([]float64(nil), alphas...)
+	sort.Float64s(sorted)
+	teacher := policy.NewCoordinator()
+	b.Alphas = sorted
+	b.AlphaRewards = nil
+	b.AlphaPE = nil
+	b.AlphaPF = nil
+	for _, a := range sorted {
+		fm, err := core.New(core.DefaultConfig(a, b.Config.Seed))
+		if err != nil {
+			return err
+		}
+		fm.Pretrain(b.City, teacher, b.Config.PretrainEpisodes, 1, b.Config.Seed)
+		st := fm.Train(b.City, b.Config.TrainEpisodes, 1, b.Config.Seed)
+		r := 0.0
+		if len(st.MeanReward) > 0 {
+			r = st.MeanReward[len(st.MeanReward)-1]
+		}
+		b.AlphaRewards = append(b.AlphaRewards, r)
+		res := b.Config.evaluate(b.City, fm)
+		b.AlphaPE = append(b.AlphaPE, metrics.FleetPE(res))
+		b.AlphaPF = append(b.AlphaPF, metrics.ProfitFairness(res))
+	}
+	return nil
+}
+
+// nearestOnly wraps a policy, forcing every charge decision to the nearest
+// station — the station-choice ablation.
+type nearestOnly struct{ inner policy.Policy }
+
+func (n nearestOnly) Name() string         { return n.inner.Name() + "-NearestOnly" }
+func (n nearestOnly) BeginEpisode(s int64) { n.inner.BeginEpisode(s) }
+func (n nearestOnly) Act(env *sim.Env, v []int) map[int]sim.Action {
+	acts := n.inner.Act(env, v)
+	for id, a := range acts {
+		if a.Kind == sim.Charge {
+			acts[id] = sim.Action{Kind: sim.Charge, Arg: 0}
+		}
+	}
+	return acts
+}
+
+// RunAblations evaluates the design-choice ablations of DESIGN.md §5:
+// fairness-aware assignment, queue-aware station choice, and the demand
+// forecast feature.
+func (b *Bundle) RunAblations() {
+	cfg := b.Config
+
+	coord := policy.NewCoordinator()
+	b.Ablations["Coordinator"] = cfg.evaluate(b.City, coord)
+
+	noFair := policy.NewCoordinator()
+	noFair.FairShare = false
+	b.Ablations["Coordinator-NoFair"] = cfg.evaluate(b.City, noFair)
+
+	b.Ablations["Coordinator-NearestOnly"] = cfg.evaluate(b.City, nearestOnly{policy.NewCoordinator()})
+
+	// Forecast ablation: the trained FairMove policy evaluated with the
+	// forecast feature zeroed out of every observation. Re-training is not
+	// needed — evaluating blind shows how much weight the policy put on
+	// that feature.
+	if p, ok := b.policyCache["FairMove"]; ok {
+		opts := cfg.simOptions()
+		opts.NoForecastFeature = true
+		env := sim.New(b.City, opts, cfg.Seed)
+		b.Ablations["FairMove-NoForecast"] = policy.Evaluate(p, env, cfg.Seed+1000)
+	}
+}
+
+// RunFull is Run plus the alpha sweep and ablations.
+func RunFull(cfg Config, alphas []float64) (*Bundle, error) {
+	city, err := synth.Build(cfg.cityConfig())
+	if err != nil {
+		return nil, err
+	}
+	pols := cfg.BuildPolicies(city)
+	b := &Bundle{
+		Config:      cfg,
+		City:        city,
+		Results:     make(map[string]*sim.Results, len(pols)),
+		Ablations:   make(map[string]*sim.Results),
+		policyCache: pols,
+	}
+	for name, p := range pols {
+		b.Results[name] = cfg.evaluate(city, p)
+	}
+	if len(alphas) > 0 {
+		if err := b.RunAlphaSweep(alphas); err != nil {
+			return nil, err
+		}
+	}
+	b.RunAblations()
+	return b, nil
+}
+
+// gt returns the ground-truth results, which every comparison references.
+func (b *Bundle) gt() *sim.Results { return b.Results["GT"] }
+
+// row formats one per-method line prefixed with the method name.
+func row(name, body string) string { return fmt.Sprintf("  %-10s %s\n", name, body) }
+
+func (b *Bundle) methodsPresent() []string {
+	var out []string
+	for _, m := range MethodNames {
+		if _, ok := b.Results[m]; ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FormatComparisonSummary prints the headline Comparison of every method.
+func (b *Bundle) FormatComparisonSummary() string {
+	var sb strings.Builder
+	sb.WriteString("Headline comparison vs ground truth\n")
+	g := b.gt()
+	for _, m := range b.methodsPresent() {
+		sb.WriteString("  " + metrics.Compare(m, g, b.Results[m]).String() + "\n")
+	}
+	return sb.String()
+}
+
+// cdfPoints formats an empirical CDF at fixed probes.
+func cdfPoints(xs []float64, probes []float64) string {
+	c := stats.NewCDF(xs)
+	parts := make([]string, len(probes))
+	for i, p := range probes {
+		parts[i] = fmt.Sprintf("P(≤%.0fmin)=%.0f%%", p, c.At(p)*100)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallBundle runs the full pipeline once at test scale and is shared by
+// the formatting tests.
+var smallBundle *Bundle
+
+func bundle(t *testing.T) *Bundle {
+	t.Helper()
+	if smallBundle != nil {
+		return smallBundle
+	}
+	b, err := RunFull(DefaultConfig(1, ScaleSmall), []float64{0, 0.6, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smallBundle = b
+	return b
+}
+
+func TestRunProducesAllMethods(t *testing.T) {
+	b := bundle(t)
+	for _, m := range MethodNames {
+		res, ok := b.Results[m]
+		if !ok {
+			t.Fatalf("method %s missing", m)
+		}
+		if res.ServedRequests == 0 {
+			t.Fatalf("method %s served nothing", m)
+		}
+	}
+}
+
+func TestGTOnlyBundleFormatsDataFigures(t *testing.T) {
+	b, err := RunGTOnly(DefaultConfig(2, ScaleSmall))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func() string{
+		"Fig3": b.Fig3, "Fig4": b.Fig4, "Fig5": b.Fig5,
+		"Fig6": b.Fig6, "Fig7": b.Fig7, "Fig8": b.Fig8,
+	} {
+		out := f()
+		if !strings.Contains(out, "Fig.") {
+			t.Errorf("%s output missing header: %q", name, out)
+		}
+		if strings.Contains(out, "%!") {
+			t.Errorf("%s has formatting error: %q", name, out)
+		}
+	}
+}
+
+func TestComparisonFiguresFormat(t *testing.T) {
+	b := bundle(t)
+	sections := map[string]func() string{
+		"Fig10": b.Fig10, "Fig11": b.Fig11, "Fig12": b.Fig12,
+		"Fig13": b.Fig13, "Fig14": b.Fig14, "Fig15": b.Fig15, "Fig16": b.Fig16,
+		"Table2": b.Table2, "Table3": b.Table3, "Table4": b.Table4,
+	}
+	for name, f := range sections {
+		out := f()
+		if len(out) == 0 {
+			t.Errorf("%s empty", name)
+		}
+		if strings.Contains(out, "%!") {
+			t.Errorf("%s has formatting error: %q", name, out)
+		}
+		if !strings.Contains(out, "FairMove") && name != "Table4" {
+			t.Errorf("%s missing FairMove row: %q", name, out)
+		}
+	}
+}
+
+func TestAlphaSweepPopulatesTable4(t *testing.T) {
+	b := bundle(t)
+	if len(b.Alphas) != 3 || len(b.AlphaRewards) != 3 {
+		t.Fatalf("sweep shape: %v %v", b.Alphas, b.AlphaRewards)
+	}
+	if b.Alphas[0] != 0 || b.Alphas[2] != 1 {
+		t.Fatalf("alphas not sorted: %v", b.Alphas)
+	}
+	out := b.Table4()
+	if !strings.Contains(out, "α=0.6") {
+		t.Fatalf("Table4 missing swept α: %q", out)
+	}
+}
+
+func TestAblationsPresent(t *testing.T) {
+	b := bundle(t)
+	for _, name := range []string{
+		"Coordinator", "Coordinator-NoFair", "Coordinator-NearestOnly", "FairMove-NoForecast",
+	} {
+		if _, ok := b.Ablations[name]; !ok {
+			t.Errorf("ablation %s missing", name)
+		}
+	}
+	out := b.FormatAblations()
+	if !strings.Contains(out, "Coordinator-NoFair") {
+		t.Fatalf("ablation report incomplete: %q", out)
+	}
+}
+
+func TestFormatAllComplete(t *testing.T) {
+	b := bundle(t)
+	out := b.FormatAll()
+	for _, want := range []string{
+		"Fig. 3", "Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7", "Fig. 8",
+		"Fig. 10", "Fig. 11", "Fig. 12", "Fig. 13", "Fig. 14", "Fig. 15", "Fig. 16",
+		"Table II", "Table III", "Table IV", "Ablations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatAll missing section %q", want)
+		}
+	}
+}
+
+func TestScaleConfigs(t *testing.T) {
+	small := DefaultConfig(1, ScaleSmall).cityConfig()
+	def := DefaultConfig(1, ScaleDefault).cityConfig()
+	full := DefaultConfig(1, ScaleFull).cityConfig()
+	if small.Fleet >= def.Fleet || def.Fleet >= full.Fleet {
+		t.Fatalf("scales not increasing: %d %d %d", small.Fleet, def.Fleet, full.Fleet)
+	}
+	if full.Fleet != 20130 {
+		t.Fatalf("full scale fleet = %d, want paper's 20130", full.Fleet)
+	}
+}
+
+func TestFmtHourSeries(t *testing.T) {
+	var s [24]float64
+	for i := range s {
+		s[i] = float64(i)
+	}
+	out := fmtHourSeries(s)
+	if !strings.Contains(out, "00h:") || !strings.Contains(out, "20h:") {
+		t.Fatalf("series format wrong: %q", out)
+	}
+}

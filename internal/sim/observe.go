@@ -1,0 +1,125 @@
+package sim
+
+import "math"
+
+// Observation is the per-agent state of Section III-C: a local view (time
+// and location context) plus a global view (supply, charging availability,
+// and forecast demand), compressed to the agent's neighborhood so the
+// feature width stays fixed while the policy network is shared by all
+// agents. Mask marks which of the NumActions discrete actions are valid.
+type Observation struct {
+	Features []float64
+	Mask     [NumActions]bool
+}
+
+// Feature layout (see Observe). The width is fixed so one shared network
+// serves every agent, per the paper's centralized design.
+const (
+	featTime      = 2                // sin/cos of day fraction
+	featSelf      = 3                // SoC, PE gap to fleet mean, vacancy age
+	featOwnRegion = 3                // supply, forecast, expected fare
+	featNeighbors = 3 * MaxNeighbors // same triple per neighbor, zero-padded
+	featStations  = 4 * KStations    // free points, queue, distance, price
+	featGlobal    = 3                // fleet vacancy rate, queue rate, tariff band level
+
+	// FeatureSize is the total observation width.
+	FeatureSize = featTime + featSelf + featOwnRegion + featNeighbors + featStations + featGlobal
+)
+
+// Observe builds the observation for a vacant taxi. It is deterministic
+// given the environment state.
+func (e *Env) Observe(id int) Observation {
+	t := &e.taxis[id]
+	f := make([]float64, 0, FeatureSize)
+	now := e.nowMin
+	dayFrac := float64(now%(24*60)) / (24 * 60)
+
+	// Time.
+	f = append(f, math.Sin(2*math.Pi*dayFrac), math.Cos(2*math.Pi*dayFrac))
+
+	// Self.
+	meanPE, _ := e.FleetPEStats()
+	peGap := (e.PESoFar(id) - meanPE) / 50 // fairness signal
+	vacancyAge := float64(now-t.vacantSinceMin) / 60
+	f = append(f, t.batt.SoC, clampF(peGap, -2, 2), clampF(vacancyAge, 0, 4))
+
+	// Own region triple.
+	supply := e.regionSupply()
+	f = append(f, e.regionTriple(t.region, supply, now)...)
+
+	// Neighbor triples, zero-padded to MaxNeighbors.
+	nbs := e.city.Partition.Region(t.region).Neighbors
+	for i := 0; i < MaxNeighbors; i++ {
+		if i < len(nbs) {
+			f = append(f, e.regionTriple(nbs[i], supply, now)...)
+		} else {
+			f = append(f, 0, 0, 0)
+		}
+	}
+
+	// Nearest stations.
+	ns := e.nearStations[t.region]
+	for k := 0; k < KStations; k++ {
+		if k < len(ns) {
+			st := e.stations[ns[k].Label]
+			f = append(f,
+				float64(st.Free())/20,
+				float64(st.QueueLen())/10,
+				ns[k].DistKm/10,
+				e.city.Tariff.Rate(e.city.Tariff.BandAt(now))/2,
+			)
+		} else {
+			f = append(f, 0, 0, 0, 0)
+		}
+	}
+
+	// Global aggregates.
+	var vacant, queued int
+	for i := range e.taxis {
+		switch e.taxis[i].state {
+		case Cruising:
+			vacant++
+		case Queued, ToStation:
+			queued++
+		}
+	}
+	n := float64(len(e.taxis))
+	band := float64(e.city.Tariff.BandAt(now)) / 2
+	f = append(f, float64(vacant)/n, float64(queued)/n, band)
+
+	if len(f) != FeatureSize {
+		panic("sim: feature size mismatch")
+	}
+	return Observation{Features: f, Mask: e.ValidMask(id)}
+}
+
+// regionTriple returns the (supply, forecast, fare) features of a region.
+// The forecast is the oracle expectation by default, the learned predictor
+// under Options.LearnedForecast, or zero under the ablation.
+func (e *Env) regionTriple(region int, supply []int, now int) []float64 {
+	var forecast float64
+	switch {
+	case e.opts.NoForecastFeature:
+		forecast = 0
+	case e.predictor != nil:
+		forecast = e.predictor.Predict(region, now/e.slotLen)
+	default:
+		forecast = e.city.Demand.ExpectedSlotDemand(region, now, e.slotLen)
+	}
+	fare := e.city.Demand.ExpectedFare(region, e.hourAt(now))
+	return []float64{
+		float64(supply[region]) / 10,
+		forecast / 10,
+		fare / 100,
+	}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

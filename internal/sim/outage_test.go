@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestOutageDivertsArrivals(t *testing.T) {
+	city, err := synth.Build(synth.TestConfig(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range city.Fleet {
+		city.Fleet[i].InitialSoC = 0.25 // everyone needs to charge soon
+	}
+	e := New(city, DefaultOptions(1), 21)
+
+	// Close every station's "rank 0" role for the whole day by picking one
+	// busy station: run once without outage to find the busiest.
+	runStay(e)
+	res := e.Results()
+	counts := make(map[int]int)
+	for _, ev := range res.ChargeStats {
+		counts[ev.StationID]++
+	}
+	busiest, most := -1, 0
+	for id, c := range counts {
+		if c > most {
+			busiest, most = id, c
+		}
+	}
+	if busiest < 0 {
+		t.Skip("no charging in baseline run")
+	}
+
+	// Re-run with that station closed all day.
+	e.Reset(21)
+	e.ScheduleOutage(Outage{Station: busiest, FromMin: 0, ToMin: 24 * 60})
+	runStay(e)
+	res2 := e.Results()
+	for _, ev := range res2.ChargeStats {
+		if ev.StationID == busiest && ev.PlugMin < 24*60 {
+			// Plugging in requires arriving, and arrivals divert during the
+			// outage — unless every alternative was also closed (not the
+			// case here).
+			t.Fatalf("charging event at closed station %d (plug %d)", busiest, ev.PlugMin)
+		}
+	}
+	// The fleet must still have charged somewhere.
+	if len(res2.ChargeStats) == 0 {
+		t.Fatal("outage wiped out all charging")
+	}
+}
+
+func TestOutageOnlyDuringWindow(t *testing.T) {
+	city, err := synth.Build(synth.TestConfig(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(city, DefaultOptions(1), 22)
+	e.ScheduleOutage(Outage{Station: 0, FromMin: 100, ToMin: 200})
+	if e.stationClosed(0, 99) || e.stationClosed(0, 200) {
+		t.Fatal("outage active outside its window")
+	}
+	if !e.stationClosed(0, 100) || !e.stationClosed(0, 199) {
+		t.Fatal("outage inactive inside its window")
+	}
+	if e.stationClosed(1, 150) {
+		t.Fatal("outage leaked to another station")
+	}
+}
+
+func TestOutageResetCleared(t *testing.T) {
+	city, err := synth.Build(synth.TestConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(city, DefaultOptions(1), 23)
+	e.ScheduleOutage(Outage{Station: 0, FromMin: 0, ToMin: 1440})
+	e.Reset(23)
+	if e.stationClosed(0, 100) {
+		t.Fatal("Reset did not clear outages")
+	}
+}
+
+func TestOutageUnknownStationPanics(t *testing.T) {
+	city, err := synth.Build(synth.TestConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(city, DefaultOptions(1), 24)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown station")
+		}
+	}()
+	e.ScheduleOutage(Outage{Station: 999, FromMin: 0, ToMin: 10})
+}

@@ -1,0 +1,348 @@
+// Package trace defines the record schemas of the paper's five datasets
+// (Section II, Table I) and provides streaming CSV encoding and decoding for
+// them. The synthetic data generator writes these files and the analysis
+// benches read them back, mirroring how the original system consumed the
+// Shenzhen streams.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/geo"
+)
+
+// GPSRecord is one row of the e-taxi GPS stream: vehicle ID, position,
+// timestamp, heading, speed, and passenger indicator.
+type GPSRecord struct {
+	VehicleID int
+	TimeMin   int // absolute simulation minute
+	Loc       geo.Point
+	DirDeg    float64
+	SpeedKmh  float64
+	Occupied  bool
+}
+
+// Transaction is one row of the transaction fare stream.
+type Transaction struct {
+	VehicleID    int
+	PickupMin    int
+	DropoffMin   int
+	Pickup       geo.Point
+	Dropoff      geo.Point
+	OperatingKm  float64 // on-trip distance
+	CruisingKm   float64 // empty distance before pickup
+	FareCNY      float64
+	PickupRegion int
+	DropRegion   int
+}
+
+// ChargingEvent is one inferred charging event (the paper infers these from
+// GPS + station data per [16]).
+type ChargingEvent struct {
+	VehicleID int
+	StationID int
+	ArriveMin int     // arrival at the station (start of idle)
+	PlugMin   int     // plug-in (end of idle, start of charge)
+	FinishMin int     // unplug
+	EnergyKWh float64 // energy delivered
+	CostCNY   float64 // TOU cost
+	StartSoC  float64
+	EndSoC    float64
+}
+
+// IdleMin returns the queueing idle time T_idle in minutes.
+func (c ChargingEvent) IdleMin() int { return c.PlugMin - c.ArriveMin }
+
+// ChargeMin returns the plugged-in duration T_charge in minutes.
+func (c ChargingEvent) ChargeMin() int { return c.FinishMin - c.PlugMin }
+
+// StationMeta is one row of the charging-station dataset.
+type StationMeta struct {
+	StationID int
+	Name      string
+	Loc       geo.Point
+	Points    int
+}
+
+// --- CSV encoding ---
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func parseF(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+func parseI(s string) (int, error)     { return strconv.Atoi(s) }
+
+// GPSWriter streams GPSRecords as CSV.
+type GPSWriter struct{ w *csv.Writer }
+
+// NewGPSWriter writes a header and returns a writer.
+func NewGPSWriter(w io.Writer) (*GPSWriter, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"vehicle_id", "time_min", "lng", "lat", "dir_deg", "speed_kmh", "occupied"}); err != nil {
+		return nil, err
+	}
+	return &GPSWriter{w: cw}, nil
+}
+
+// Write appends one record.
+func (g *GPSWriter) Write(r GPSRecord) error {
+	occ := "0"
+	if r.Occupied {
+		occ = "1"
+	}
+	return g.w.Write([]string{
+		strconv.Itoa(r.VehicleID), strconv.Itoa(r.TimeMin),
+		f(r.Loc.Lng), f(r.Loc.Lat), f(r.DirDeg), f(r.SpeedKmh), occ,
+	})
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (g *GPSWriter) Flush() error {
+	g.w.Flush()
+	return g.w.Error()
+}
+
+// ReadGPS decodes an entire GPS CSV stream.
+func ReadGPS(r io.Reader) ([]GPSRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty GPS stream")
+	}
+	out := make([]GPSRecord, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 7 {
+			return nil, fmt.Errorf("trace: GPS row %d has %d fields", i+1, len(row))
+		}
+		var rec GPSRecord
+		if rec.VehicleID, err = parseI(row[0]); err != nil {
+			return nil, fmt.Errorf("trace: GPS row %d vehicle_id: %w", i+1, err)
+		}
+		if rec.TimeMin, err = parseI(row[1]); err != nil {
+			return nil, fmt.Errorf("trace: GPS row %d time_min: %w", i+1, err)
+		}
+		if rec.Loc.Lng, err = parseF(row[2]); err != nil {
+			return nil, fmt.Errorf("trace: GPS row %d lng: %w", i+1, err)
+		}
+		if rec.Loc.Lat, err = parseF(row[3]); err != nil {
+			return nil, fmt.Errorf("trace: GPS row %d lat: %w", i+1, err)
+		}
+		if rec.DirDeg, err = parseF(row[4]); err != nil {
+			return nil, fmt.Errorf("trace: GPS row %d dir: %w", i+1, err)
+		}
+		if rec.SpeedKmh, err = parseF(row[5]); err != nil {
+			return nil, fmt.Errorf("trace: GPS row %d speed: %w", i+1, err)
+		}
+		rec.Occupied = row[6] == "1"
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// TransactionWriter streams Transactions as CSV.
+type TransactionWriter struct{ w *csv.Writer }
+
+// NewTransactionWriter writes a header and returns a writer.
+func NewTransactionWriter(w io.Writer) (*TransactionWriter, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"vehicle_id", "pickup_min", "dropoff_min", "pickup_lng", "pickup_lat",
+		"dropoff_lng", "dropoff_lat", "operating_km", "cruising_km", "fare_cny",
+		"pickup_region", "drop_region",
+	}); err != nil {
+		return nil, err
+	}
+	return &TransactionWriter{w: cw}, nil
+}
+
+// Write appends one record.
+func (t *TransactionWriter) Write(r Transaction) error {
+	return t.w.Write([]string{
+		strconv.Itoa(r.VehicleID), strconv.Itoa(r.PickupMin), strconv.Itoa(r.DropoffMin),
+		f(r.Pickup.Lng), f(r.Pickup.Lat), f(r.Dropoff.Lng), f(r.Dropoff.Lat),
+		f(r.OperatingKm), f(r.CruisingKm), f(r.FareCNY),
+		strconv.Itoa(r.PickupRegion), strconv.Itoa(r.DropRegion),
+	})
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (t *TransactionWriter) Flush() error {
+	t.w.Flush()
+	return t.w.Error()
+}
+
+// ReadTransactions decodes an entire transaction CSV stream.
+func ReadTransactions(r io.Reader) ([]Transaction, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty transaction stream")
+	}
+	out := make([]Transaction, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 12 {
+			return nil, fmt.Errorf("trace: transaction row %d has %d fields", i+1, len(row))
+		}
+		var rec Transaction
+		fields := []struct {
+			dst *int
+			idx int
+		}{
+			{&rec.VehicleID, 0}, {&rec.PickupMin, 1}, {&rec.DropoffMin, 2},
+			{&rec.PickupRegion, 10}, {&rec.DropRegion, 11},
+		}
+		for _, fd := range fields {
+			if *fd.dst, err = parseI(row[fd.idx]); err != nil {
+				return nil, fmt.Errorf("trace: transaction row %d field %d: %w", i+1, fd.idx, err)
+			}
+		}
+		ffields := []struct {
+			dst *float64
+			idx int
+		}{
+			{&rec.Pickup.Lng, 3}, {&rec.Pickup.Lat, 4}, {&rec.Dropoff.Lng, 5},
+			{&rec.Dropoff.Lat, 6}, {&rec.OperatingKm, 7}, {&rec.CruisingKm, 8},
+			{&rec.FareCNY, 9},
+		}
+		for _, fd := range ffields {
+			if *fd.dst, err = parseF(row[fd.idx]); err != nil {
+				return nil, fmt.Errorf("trace: transaction row %d field %d: %w", i+1, fd.idx, err)
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// ChargingWriter streams ChargingEvents as CSV.
+type ChargingWriter struct{ w *csv.Writer }
+
+// NewChargingWriter writes a header and returns a writer.
+func NewChargingWriter(w io.Writer) (*ChargingWriter, error) {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"vehicle_id", "station_id", "arrive_min", "plug_min", "finish_min",
+		"energy_kwh", "cost_cny", "start_soc", "end_soc",
+	}); err != nil {
+		return nil, err
+	}
+	return &ChargingWriter{w: cw}, nil
+}
+
+// Write appends one record.
+func (c *ChargingWriter) Write(r ChargingEvent) error {
+	return c.w.Write([]string{
+		strconv.Itoa(r.VehicleID), strconv.Itoa(r.StationID),
+		strconv.Itoa(r.ArriveMin), strconv.Itoa(r.PlugMin), strconv.Itoa(r.FinishMin),
+		f(r.EnergyKWh), f(r.CostCNY), f(r.StartSoC), f(r.EndSoC),
+	})
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (c *ChargingWriter) Flush() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// ReadChargingEvents decodes an entire charging-event CSV stream.
+func ReadChargingEvents(r io.Reader) ([]ChargingEvent, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty charging stream")
+	}
+	out := make([]ChargingEvent, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 9 {
+			return nil, fmt.Errorf("trace: charging row %d has %d fields", i+1, len(row))
+		}
+		var rec ChargingEvent
+		ints := []struct {
+			dst *int
+			idx int
+		}{
+			{&rec.VehicleID, 0}, {&rec.StationID, 1}, {&rec.ArriveMin, 2},
+			{&rec.PlugMin, 3}, {&rec.FinishMin, 4},
+		}
+		for _, fd := range ints {
+			if *fd.dst, err = parseI(row[fd.idx]); err != nil {
+				return nil, fmt.Errorf("trace: charging row %d field %d: %w", i+1, fd.idx, err)
+			}
+		}
+		floats := []struct {
+			dst *float64
+			idx int
+		}{
+			{&rec.EnergyKWh, 5}, {&rec.CostCNY, 6}, {&rec.StartSoC, 7}, {&rec.EndSoC, 8},
+		}
+		for _, fd := range floats {
+			if *fd.dst, err = parseF(row[fd.idx]); err != nil {
+				return nil, fmt.Errorf("trace: charging row %d field %d: %w", i+1, fd.idx, err)
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// WriteStationMeta writes the station metadata dataset.
+func WriteStationMeta(w io.Writer, metas []StationMeta) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"station_id", "name", "lng", "lat", "points"}); err != nil {
+		return err
+	}
+	for _, m := range metas {
+		if err := cw.Write([]string{
+			strconv.Itoa(m.StationID), m.Name, f(m.Loc.Lng), f(m.Loc.Lat), strconv.Itoa(m.Points),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadStationMeta decodes the station metadata dataset.
+func ReadStationMeta(r io.Reader) ([]StationMeta, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty station stream")
+	}
+	out := make([]StationMeta, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 5 {
+			return nil, fmt.Errorf("trace: station row %d has %d fields", i+1, len(row))
+		}
+		var m StationMeta
+		if m.StationID, err = parseI(row[0]); err != nil {
+			return nil, fmt.Errorf("trace: station row %d id: %w", i+1, err)
+		}
+		m.Name = row[1]
+		if m.Loc.Lng, err = parseF(row[2]); err != nil {
+			return nil, fmt.Errorf("trace: station row %d lng: %w", i+1, err)
+		}
+		if m.Loc.Lat, err = parseF(row[3]); err != nil {
+			return nil, fmt.Errorf("trace: station row %d lat: %w", i+1, err)
+		}
+		if m.Points, err = parseI(row[4]); err != nil {
+			return nil, fmt.Errorf("trace: station row %d points: %w", i+1, err)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
