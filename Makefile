@@ -1,0 +1,27 @@
+# CI entry points. `make ci` is the gate every change must pass:
+# vet + build + the full test suite, then the short tier again under the
+# race detector (the parallel runtime's serial≡parallel tests stay enabled
+# in short mode precisely so the race pass exercises them).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short tier under the race detector: fast tests plus the worker-invariance
+# determinism tests, which fan training and evaluation across goroutines.
+race:
+	$(GO) test -short -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab [-scale small|default|full] [-seed N] [-alpha-sweep] [-gt-only]
+//	benchtab [-scale small|default|full] [-seed N] [-workers N] [-alpha-sweep] [-gt-only]
 //
 // The default scale matches EXPERIMENTS.md (300 taxis, 75 regions); -scale
 // full runs the paper's 20,130-taxi fleet and takes hours.
@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/report"
@@ -23,6 +24,8 @@ func main() {
 	seed := flag.Int64("seed", 42, "master random seed")
 	sweep := flag.Bool("alpha-sweep", true, "run the Table IV alpha sweep (adds six training runs)")
 	gtOnly := flag.Bool("gt-only", false, "only run ground truth and print the data-driven findings (Figs. 3-8)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker goroutines for training and evaluation; any value produces identical output")
 	flag.Parse()
 
 	var sc report.Scale
@@ -38,6 +41,7 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := report.DefaultConfig(*seed, sc)
+	cfg.Workers = *workers
 
 	start := time.Now()
 	if *gtOnly {

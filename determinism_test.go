@@ -1,0 +1,115 @@
+package fairmove
+
+import (
+	"reflect"
+	"testing"
+)
+
+// microConfig is deliberately smaller than tinyConfig: the worker-invariance
+// tests below train every method twice (once per worker count), and they
+// must stay fast enough to run un-skipped under `go test -short -race` —
+// they ARE the race-detector coverage for the parallel runtime.
+func microConfig(seed int64, workers int) Config {
+	return Config{
+		Seed:             seed,
+		Regions:          12,
+		Stations:         4,
+		Fleet:            24,
+		SlotMinutes:      10,
+		Days:             1,
+		Alpha:            0.6,
+		PretrainEpisodes: 1,
+		TrainEpisodes:    1,
+		TrainDays:        1,
+		Workers:          workers,
+	}
+}
+
+// Determinism regression: the same seed must produce the same EvalReport,
+// both when re-evaluating a trained system and when rebuilding the system
+// from scratch.
+func TestEvaluateDeterministic(t *testing.T) {
+	s1, err := NewSystem(microConfig(9, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s1.Evaluate(FairMove)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same system: the cached policy must evaluate identically.
+	r2, err := s1.Evaluate(FairMove)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("re-evaluation diverged:\n%+v\n%+v", r1, r2)
+	}
+	// Fresh system, same seed: the full train-and-evaluate pipeline must
+	// reproduce the report exactly.
+	s2, err := NewSystem(microConfig(9, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := s2.Evaluate(FairMove)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r3) {
+		t.Fatalf("rebuilt system diverged:\n%+v\n%+v", r1, r3)
+	}
+}
+
+// The tentpole's executable spec: CompareAll with one worker and with four
+// workers must produce byte-identical reports for the same seed. Training
+// and evaluation both run inside CompareAll, so this exercises the full
+// parallel runtime — fan-out over methods, parallel demonstration rollouts,
+// and batched network inference.
+func TestCompareAllWorkerInvariance(t *testing.T) {
+	run := func(workers int) []Comparison {
+		s, err := NewSystem(microConfig(3, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.CompareAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(4)
+	if len(serial) != len(Methods()) {
+		t.Fatalf("got %d comparisons, want %d", len(serial), len(Methods()))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("method %s: workers=1 and workers=4 reports differ:\n%+v\n%+v",
+				serial[i].Method, serial[i], parallel[i])
+		}
+	}
+}
+
+// AlphaSweep must likewise be invariant to the worker count.
+func TestAlphaSweepWorkerInvariance(t *testing.T) {
+	alphas := []float64{0.8, 0.2} // unsorted on purpose: output order is sorted
+	run := func(workers int) ([]float64, []float64) {
+		s, err := NewSystem(microConfig(5, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, rs, err := s.AlphaSweep(alphas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return as, rs
+	}
+	a1, r1 := run(1)
+	a4, r4 := run(4)
+	if !reflect.DeepEqual(a1, []float64{0.2, 0.8}) {
+		t.Fatalf("alphas not sorted: %v", a1)
+	}
+	if !reflect.DeepEqual(a1, a4) || !reflect.DeepEqual(r1, r4) {
+		t.Fatalf("sweep diverged across worker counts:\nworkers=1: %v %v\nworkers=4: %v %v", a1, r1, a4, r4)
+	}
+}

@@ -15,12 +15,15 @@
 package fairmove
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -67,6 +70,13 @@ type Config struct {
 	// EvalWarmupDays excludes the fleet's start-up transient from metrics
 	// (default 1).
 	EvalWarmupDays int
+
+	// Workers bounds the goroutines the system may use: CompareAll and
+	// AlphaSweep fan each method/α out to its own worker, and the learned
+	// policies batch their network inference across the same budget.
+	// <= 0 means GOMAXPROCS. Every worker count produces byte-identical
+	// results for the same seed — parallelism only changes wall-clock.
+	Workers int
 }
 
 // DefaultConfig returns a laptop-scale configuration. It preserves the
@@ -149,6 +159,10 @@ type System struct {
 	city *synth.City
 	fm   *core.FairMove
 
+	// mu guards trained. CompareAll trains methods on concurrent workers;
+	// each method is owned by exactly one worker, so only the shared cache
+	// needs the lock.
+	mu      sync.Mutex
 	trained map[Method]policy.Policy
 }
 
@@ -166,7 +180,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fairmove: %w", err)
 	}
-	fm, err := core.New(core.DefaultConfig(cfg.Alpha, cfg.Seed))
+	ccfg := core.DefaultConfig(cfg.Alpha, cfg.Seed)
+	ccfg.Workers = cfg.Workers
+	fm, err := core.New(ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("fairmove: %w", err)
 	}
@@ -195,7 +211,9 @@ type TrainReport struct {
 func (s *System) Train() TrainReport {
 	s.fm.Pretrain(s.city, policy.NewCoordinator(), s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 	st := s.fm.Train(s.city, s.cfg.TrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
+	s.mu.Lock()
 	s.trained[FairMove] = s.fm
+	s.mu.Unlock()
 	return TrainReport{
 		Episodes:    st.Episodes,
 		MeanReward:  st.MeanReward,
@@ -204,13 +222,19 @@ func (s *System) Train() TrainReport {
 	}
 }
 
-// policyFor returns (training if needed) the policy for a method.
+// policyFor returns (training if needed) the policy for a method. Training
+// runs outside the lock: every method trains on its own environments, its
+// own teacher, and rng streams split stably from its own names, so methods
+// train concurrently without influencing one another — the property that
+// lets CompareAll fan out while staying byte-identical to a serial run.
 func (s *System) policyFor(m Method) (policy.Policy, error) {
-	if p, ok := s.trained[m]; ok {
+	s.mu.Lock()
+	p, ok := s.trained[m]
+	s.mu.Unlock()
+	if ok {
 		return p, nil
 	}
 	teacher := policy.NewCoordinator()
-	var p policy.Policy
 	switch m {
 	case GT:
 		p = policy.NewGroundTruth()
@@ -223,11 +247,13 @@ func (s *System) policyFor(m Method) (policy.Policy, error) {
 		p = q
 	case DQN:
 		d := policy.NewDQN(s.cfg.Alpha, s.cfg.Seed)
+		d.Workers = s.cfg.Workers
 		d.Pretrain(s.city, teacher, s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 		d.Train(s.city, (s.cfg.TrainEpisodes+1)/2, s.cfg.TrainDays, s.cfg.Seed)
 		p = d
 	case TBA:
 		b := policy.NewTBA(s.cfg.Seed)
+		b.Workers = s.cfg.Workers
 		b.Pretrain(s.city, teacher, s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 		b.Train(s.city, (s.cfg.TrainEpisodes+1)/2, s.cfg.TrainDays, s.cfg.Seed)
 		p = b
@@ -237,7 +263,9 @@ func (s *System) policyFor(m Method) (policy.Policy, error) {
 	default:
 		return nil, fmt.Errorf("fairmove: unknown method %q", m)
 	}
+	s.mu.Lock()
 	s.trained[m] = p
+	s.mu.Unlock()
 	return p, nil
 }
 
@@ -312,20 +340,29 @@ type Comparison struct {
 
 // CompareAll evaluates every strategy on the same demand realization and
 // reports each against ground truth, in Methods() order.
+//
+// Each method is fanned out to its own worker with a private environment;
+// the shared city is read-only during simulation and every method's rng
+// streams are split stably from its own names, so the reduction — always in
+// Methods() order — is byte-identical for any worker count.
 func (s *System) CompareAll() ([]Comparison, error) {
-	results := make(map[Method]*sim.Results, len(Methods()))
-	for _, m := range Methods() {
-		p, err := s.policyFor(m)
-		if err != nil {
-			return nil, err
-		}
-		env := sim.New(s.city, s.evalOptions(), s.cfg.Seed)
-		results[m] = policy.Evaluate(p, env, s.cfg.Seed+1000)
+	ms := Methods()
+	results, err := parallel.Map(context.Background(), s.cfg.Workers, len(ms),
+		func(_ context.Context, i int) (*sim.Results, error) {
+			p, err := s.policyFor(ms[i])
+			if err != nil {
+				return nil, err
+			}
+			env := sim.New(s.city, s.evalOptions(), s.cfg.Seed)
+			return policy.Evaluate(p, env, s.cfg.Seed+1000), nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	g := results[GT]
-	out := make([]Comparison, 0, len(Methods()))
-	for _, m := range Methods() {
-		d := results[m]
+	g := results[0] // Methods() leads with GT, the comparison base
+	out := make([]Comparison, 0, len(ms))
+	for i, m := range ms {
+		d := results[i]
 		out = append(out, Comparison{
 			EvalReport: evalReport(m, d),
 			PRCT:       metrics.PRCT(g, d),
@@ -340,22 +377,30 @@ func (s *System) CompareAll() ([]Comparison, error) {
 // AlphaSweep trains a fresh FairMove at each α and returns the mean
 // decision reward of the final training episode — the paper's Table IV.
 // Keys are sorted ascending in the returned slices.
+//
+// Each α trains on its own worker with a private FairMove, teacher, and
+// environments; results reduce in sorted-α order, so the sweep is
+// byte-identical for any worker count.
 func (s *System) AlphaSweep(alphas []float64) (sortedAlphas, rewards []float64, err error) {
 	sortedAlphas = append([]float64(nil), alphas...)
 	sort.Float64s(sortedAlphas)
-	for _, a := range sortedAlphas {
-		cfg := core.DefaultConfig(a, s.cfg.Seed)
-		fm, err := core.New(cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		fm.Pretrain(s.city, policy.NewCoordinator(), s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
-		st := fm.Train(s.city, s.cfg.TrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
-		if len(st.MeanReward) == 0 {
-			rewards = append(rewards, 0)
-			continue
-		}
-		rewards = append(rewards, st.MeanReward[len(st.MeanReward)-1])
+	rewards, err = parallel.Map(context.Background(), s.cfg.Workers, len(sortedAlphas),
+		func(_ context.Context, i int) (float64, error) {
+			cfg := core.DefaultConfig(sortedAlphas[i], s.cfg.Seed)
+			cfg.Workers = s.cfg.Workers
+			fm, err := core.New(cfg)
+			if err != nil {
+				return 0, err
+			}
+			fm.Pretrain(s.city, policy.NewCoordinator(), s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
+			st := fm.Train(s.city, s.cfg.TrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
+			if len(st.MeanReward) == 0 {
+				return 0, nil
+			}
+			return st.MeanReward[len(st.MeanReward)-1], nil
+		})
+	if err != nil {
+		return nil, nil, err
 	}
 	return sortedAlphas, rewards, nil
 }

@@ -42,6 +42,9 @@ func TestNewSystemRejectsBadConfig(t *testing.T) {
 }
 
 func TestTrainAndEvaluate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training pipeline; determinism_test.go covers the short tier")
+	}
 	s, err := NewSystem(tinyConfig(2))
 	if err != nil {
 		t.Fatal(err)
@@ -66,6 +69,9 @@ func TestTrainAndEvaluate(t *testing.T) {
 }
 
 func TestEvaluateAllMethods(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training pipeline; determinism_test.go covers the short tier")
+	}
 	s, err := NewSystem(tinyConfig(3))
 	if err != nil {
 		t.Fatal(err)
@@ -85,6 +91,9 @@ func TestEvaluateAllMethods(t *testing.T) {
 }
 
 func TestCompareAllIdenticalDemand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training pipeline; determinism_test.go covers the short tier")
+	}
 	s, err := NewSystem(tinyConfig(4))
 	if err != nil {
 		t.Fatal(err)
@@ -121,6 +130,9 @@ func TestCompareAllIdenticalDemand(t *testing.T) {
 }
 
 func TestAlphaSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training pipeline; determinism_test.go covers the short tier")
+	}
 	s, err := NewSystem(tinyConfig(5))
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +155,9 @@ func TestAlphaSweep(t *testing.T) {
 }
 
 func TestSaveLoadModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full training pipeline; determinism_test.go covers the short tier")
+	}
 	s, err := NewSystem(tinyConfig(6))
 	if err != nil {
 		t.Fatal(err)

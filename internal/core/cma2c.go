@@ -33,6 +33,10 @@ type Config struct {
 	Batch       int     // minibatch size for the M update iterations
 	UpdateIters int     // M of Algorithm 1
 	Seed        int64
+	// Workers bounds the goroutines used for batched actor inference and
+	// parallel demonstration rollouts; <= 0 means GOMAXPROCS. Any value
+	// produces byte-identical results — it only changes wall-clock.
+	Workers int
 }
 
 // DefaultConfig returns the paper's hyperparameters at repro scale.
@@ -142,10 +146,28 @@ func (f *FairMove) choose(obs sim.Observation) int {
 
 // Act implements policy.Policy: centralized training, decentralized
 // execution — each agent queries the shared actor on its own observation.
+//
+// The slot is processed in three phases so the fleet-wide forward pass can
+// use every core without giving up determinism: observations are collected
+// serially (Observe refreshes per-slot environment caches, so Env stays
+// single-writer), the shared actor evaluates all rows sharded across
+// workers (inference only reads the weights), and sampling consumes f.src
+// serially in vacant order — the same rng draw sequence as a per-taxi loop.
 func (f *FairMove) Act(env *sim.Env, vacant []int) map[int]sim.Action {
 	actions := make(map[int]sim.Action, len(vacant))
-	for _, id := range vacant {
-		actions[id] = sim.ActionFromIndex(f.choose(env.Observe(id)))
+	obs := make([]sim.Observation, len(vacant))
+	rows := make([][]float64, len(vacant))
+	for i, id := range vacant {
+		obs[i] = env.Observe(id)
+		rows[i] = obs[i].Features
+	}
+	logits := f.actor.ForwardRows(rows, f.cfg.Workers)
+	for i, id := range vacant {
+		mask := make([]bool, sim.NumActions)
+		for j := range mask {
+			mask[j] = obs[i].Mask[j]
+		}
+		actions[id] = sim.ActionFromIndex(f.src.WeightedChoice(nn.Softmax(logits[i], mask)))
 	}
 	return actions
 }
@@ -245,20 +267,17 @@ func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) Train
 // the demonstrated behavior rather than exploring from scratch — without
 // it, random multi-agent exploration floods charging stations for many
 // episodes before any signal emerges.
+//
+// Demonstration rollouts are guide-driven — the learner's weights never
+// influence the trajectories — so episodes fan out across workers and the
+// gradient steps below consume them serially in episode order, which keeps
+// the result byte-identical to a serial run.
 func (f *FairMove) Pretrain(city *synth.City, guide policy.Policy, episodes, days int, seed int64) {
-	env := sim.New(city, sim.DefaultOptions(days), seed)
-	for ep := 0; ep < episodes; ep++ {
-		epSeed := seed + 7000 + int64(ep)
-		env.Reset(epSeed)
-		guide.BeginEpisode(epSeed)
-		f.BeginEpisode(epSeed)
-		var buf []policy.Transition
-		chooser := policy.PolicyChooser(env, guide)
-		policy.RunEpisode(env,
-			func(id int, obs sim.Observation) int { return chooser(id, obs) },
-			f.cfg.Alpha, f.cfg.Gamma,
-			func(id int, tr policy.Transition) { buf = append(buf, tr) },
-		)
+	bufs := policy.CollectDemos(city, guide, episodes, days, seed, f.cfg.Workers, f.cfg.Alpha, f.cfg.Gamma)
+	for ep, buf := range bufs {
+		// BeginEpisode re-derives f.src exactly as the serial loop did
+		// before its rollout; the rollout itself never consumed f.src.
+		f.BeginEpisode(policy.DemoEpisodeSeed(seed, ep))
 		if len(buf) == 0 {
 			continue
 		}

@@ -82,6 +82,9 @@ func TestProbsRespectMask(t *testing.T) {
 }
 
 func TestTrainProducesStatsAndLearns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-episode training; skipped in short mode")
+	}
 	city := testCity(t, 3)
 	f, err := New(DefaultConfig(0.6, 3))
 	if err != nil {
@@ -110,6 +113,9 @@ func TestTrainProducesStatsAndLearns(t *testing.T) {
 }
 
 func TestTrainDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-episode training; skipped in short mode")
+	}
 	city := testCity(t, 4)
 	run := func() []float64 {
 		f, err := New(DefaultConfig(0.6, 4))
@@ -127,6 +133,9 @@ func TestTrainDeterministic(t *testing.T) {
 }
 
 func TestSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-episode training; skipped in short mode")
+	}
 	city := testCity(t, 5)
 	f, err := New(DefaultConfig(0.6, 5))
 	if err != nil {
@@ -163,6 +172,9 @@ func TestLoadRejectsGarbage(t *testing.T) {
 }
 
 func TestAlphaOneIgnoresFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-episode training; skipped in short mode")
+	}
 	// With α=1 the reward is pure profit; with α=0 pure fairness. Both must
 	// train without error — the boundary cases of Table IV.
 	city := testCity(t, 6)

@@ -12,6 +12,7 @@ package demand
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/geo"
 	"repro/internal/partition"
@@ -151,7 +152,11 @@ type Model struct {
 	// meanDistKm[o] caches the gravity-weighted mean haversine trip
 	// distance from origin o, used for fast expected-fare queries.
 	meanDistKm []float64
-	nextID     int64
+	// nextID labels sampled requests. It is atomic because several
+	// simulation environments may share one Model (the City is read-only
+	// shared state under the parallel runtime); the IDs themselves are
+	// diagnostic only and never reach Results.
+	nextID atomic.Int64
 }
 
 // RoadFactor converts haversine distance to road distance.
@@ -394,9 +399,8 @@ func (m *Model) sampleOne(src *rng.Source, origin, tMin int) Request {
 	speed := SpeedKmh(hour)
 	durMin := distKm / speed * 60 * src.Uniform(0.9, 1.2)
 	fare := m.fares.Fare(distKm, durMin, hour)
-	m.nextID++
 	return Request{
-		ID:           m.nextID,
+		ID:           m.nextID.Add(1),
 		TimeMin:      tMin,
 		Origin:       op,
 		OriginRegion: origin,

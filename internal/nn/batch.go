@@ -1,0 +1,32 @@
+package nn
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+)
+
+// ForwardRows evaluates the network on each row independently, sharding the
+// rows across at most workers goroutines. Inference (train=false) reads only
+// the weights, so sharing the MLP across workers is safe, and each row goes
+// through exactly the same per-row kernels as Forward1 — the output is
+// byte-identical to a serial Forward1 loop for any worker count.
+func (m *MLP) ForwardRows(rows [][]float64, workers int) [][]float64 {
+	out := make([][]float64, len(rows))
+	chunks := parallel.Chunks(len(rows), workers)
+	if len(chunks) <= 1 {
+		for i, r := range rows {
+			out[i] = m.Forward1(r)
+		}
+		return out
+	}
+	// Each chunk writes a disjoint range of out; no worker returns an error,
+	// so ForEach cannot fail short of a panic (which it re-raises here).
+	_ = parallel.ForEach(context.Background(), len(chunks), len(chunks), func(_ context.Context, c int) error {
+		for i := chunks[c][0]; i < chunks[c][1]; i++ {
+			out[i] = m.Forward1(rows[i])
+		}
+		return nil
+	})
+	return out
+}

@@ -1,0 +1,36 @@
+package nn
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// ForwardRows must match a serial Forward1 loop bit-for-bit at every worker
+// count — the batched-inference half of the serial≡parallel invariant.
+func TestForwardRowsMatchesForward1(t *testing.T) {
+	src := rng.New(7)
+	m := NewMLP(src, []int{12, 16, 5}, Tanh, Identity)
+	rows := make([][]float64, 33)
+	for i := range rows {
+		r := make([]float64, 12)
+		for j := range r {
+			r[j] = src.Uniform(-2, 2)
+		}
+		rows[i] = r
+	}
+	want := make([][]float64, len(rows))
+	for i, r := range rows {
+		want[i] = m.Forward1(r)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		got := m.ForwardRows(rows, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: batched forward differs from serial Forward1", workers)
+		}
+	}
+	if got := m.ForwardRows(nil, 4); len(got) != 0 {
+		t.Fatalf("empty input: got %d rows", len(got))
+	}
+}

@@ -1,0 +1,172 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(3); got != 3 {
+		t.Fatalf("Resolve(3) = %d", got)
+	}
+	if got := Resolve(0); got < 1 {
+		t.Fatalf("Resolve(0) = %d, want >= 1", got)
+	}
+	if got := Resolve(-5); got != Resolve(0) {
+		t.Fatalf("Resolve(-5) = %d, want %d", got, Resolve(0))
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	err := ForEach(context.Background(), workers, 50, func(_ context.Context, i int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, cap is %d", p, workers)
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	var n atomic.Int64
+	if err := ForEach(context.Background(), 4, 257, func(_ context.Context, i int) error {
+		n.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 257 {
+		t.Fatalf("ran %d tasks, want 257", n.Load())
+	}
+}
+
+func TestForEachErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int64
+	err := ForEach(context.Background(), 2, 1000, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		if i > 500 {
+			// Cancellation should stop the sweep long before the tail.
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if after.Load() > 100 {
+		t.Fatalf("%d tail tasks ran after the error; cancellation is not pruning", after.Load())
+	}
+}
+
+func TestMapErrorDiscardsResults(t *testing.T) {
+	out, err := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("bad")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if out != nil {
+		t.Fatalf("out = %v, want nil on error", out)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r != "kaboom" {
+					t.Fatalf("workers=%d: recovered %v, want kaboom", workers, r)
+				}
+			}()
+			_ = ForEach(context.Background(), workers, 10, func(_ context.Context, i int) error {
+				if i == 2 {
+					panic("kaboom")
+				}
+				return nil
+			})
+			t.Fatalf("workers=%d: no panic reached the caller", workers)
+		}()
+	}
+}
+
+func TestForEachContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEach(ctx, 1, 10, func(_ context.Context, i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran under a cancelled context", ran.Load())
+	}
+}
+
+func TestChunks(t *testing.T) {
+	cases := []struct {
+		n, workers int
+	}{{10, 3}, {10, 1}, {3, 8}, {0, 4}, {100, 7}}
+	for _, c := range cases {
+		chunks := Chunks(c.n, c.workers)
+		covered := 0
+		prevEnd := 0
+		for _, ch := range chunks {
+			if ch[0] != prevEnd {
+				t.Fatalf("n=%d workers=%d: chunk %v not contiguous", c.n, c.workers, ch)
+			}
+			if ch[1] < ch[0] {
+				t.Fatalf("n=%d workers=%d: negative chunk %v", c.n, c.workers, ch)
+			}
+			covered += ch[1] - ch[0]
+			prevEnd = ch[1]
+		}
+		if covered != c.n {
+			t.Fatalf("n=%d workers=%d: chunks cover %d items", c.n, c.workers, covered)
+		}
+		if c.n > 0 && len(chunks) > c.workers && c.workers > 0 {
+			t.Fatalf("n=%d workers=%d: %d chunks", c.n, c.workers, len(chunks))
+		}
+	}
+}

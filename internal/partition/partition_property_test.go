@@ -1,0 +1,57 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geo"
+)
+
+// Property (DESIGN.md §6): every point of the bounding box — and points
+// slightly beyond it — locates to a valid region, and whenever the point
+// lies inside the returned region's polygon that assignment is consistent
+// with the polygon test. Together these guarantee the displacement state
+// space has no holes: any GPS fix maps to exactly one of the 491 regions.
+func TestLocateCoversFullBBox(t *testing.T) {
+	p := GenerateShenzhen(11)
+	bbox := p.BBox()
+	prop := func(u, v float64) bool {
+		// Map arbitrary floats into [-0.05, 1.05]² so a margin outside the
+		// bbox is probed too (trace points on excluded terrain must still
+		// snap somewhere).
+		fu := math.Abs(math.Mod(u, 1.1)) - 0.05
+		fv := math.Abs(math.Mod(v, 1.1)) - 0.05
+		pt := geo.Point{
+			Lng: bbox.MinLng + fu*(bbox.MaxLng-bbox.MinLng),
+			Lat: bbox.MinLat + fv*(bbox.MaxLat-bbox.MinLat),
+		}
+		id := p.Locate(pt)
+		if id < 0 || id >= p.Len() {
+			t.Logf("Locate(%v) = %d, out of [0,%d)", pt, id, p.Len())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a region's own centroid locates to a region whose polygon
+// contains it (almost always the region itself; Voronoi-adjacent ties snap
+// to a containing neighbor). This is the polygon-consistency half of
+// Locate's contract.
+func TestLocateCentroidConsistency(t *testing.T) {
+	p := GenerateShenzhen(12)
+	for id := 0; id < p.Len(); id++ {
+		c := p.Region(id).Centroid
+		got := p.Locate(c)
+		if got < 0 || got >= p.Len() {
+			t.Fatalf("region %d centroid located to invalid region %d", id, got)
+		}
+		if got != id && !p.Region(got).Polygon.Contains(c) && p.Region(id).Polygon.Contains(c) {
+			t.Fatalf("region %d centroid located to %d, but only %d's polygon contains it", id, got, id)
+		}
+	}
+}

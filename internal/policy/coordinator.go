@@ -48,6 +48,13 @@ func (c *Coordinator) Name() string {
 // BeginEpisode implements Policy.
 func (c *Coordinator) BeginEpisode(seed int64) { c.src = rng.SplitStable(seed, "coordinator") }
 
+// CloneForWorker implements Cloner: the coordinator's only mutable state is
+// its rng stream, and BeginEpisode re-derives that from the episode seed, so
+// a clone driving an episode behaves exactly like the original would.
+func (c *Coordinator) CloneForWorker() Policy {
+	return &Coordinator{FairShare: c.FairShare, PreChargeProb: c.PreChargeProb, src: rng.New(0)}
+}
+
 // Act implements Policy.
 func (c *Coordinator) Act(env *sim.Env, vacant []int) map[int]sim.Action {
 	city := env.City()

@@ -1,0 +1,75 @@
+package policy
+
+import (
+	"context"
+
+	"repro/internal/parallel"
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// Cloner marks policies that can hand each rollout worker a private
+// instance. The clone must behave identically to the original after
+// BeginEpisode(seed) — all per-episode state is re-derived from the seed —
+// so cloning is just copying configuration and dropping shared mutable
+// state. Guide policies implement it to unlock parallel demonstration
+// rollouts; learners falling back to a non-Cloner guide run serially.
+type Cloner interface {
+	Policy
+	// CloneForWorker returns an independent instance safe to drive from
+	// another goroutine.
+	CloneForWorker() Policy
+}
+
+// demoSeedOffset is the shared pretraining seed convention: episode ep of a
+// pretraining run seeded with s replays demand realization s+7000+ep. Every
+// learner uses the same offset so all warm starts see the same teacher
+// demonstrations for a given seed.
+const demoSeedOffset = 7000
+
+// DemoEpisodeSeed returns the seed of pretraining episode ep under run seed.
+func DemoEpisodeSeed(seed int64, ep int) int64 { return seed + demoSeedOffset + int64(ep) }
+
+// CollectDemos rolls out episodes of guide-driven demonstrations and returns
+// each episode's transitions, indexed by episode. Episodes are independent —
+// each gets a fresh environment and rng streams derived only from its own
+// episode seed — so they fan out across workers; the returned order is
+// always episode order, making the result byte-identical for any worker
+// count. Rewards accrue with the caller's (alpha, gamma) so the transitions
+// slot directly into the caller's update rule.
+//
+// If guide does not implement Cloner the rollout runs serially on the shared
+// instance, whatever workers says: correctness beats speed.
+func CollectDemos(city *synth.City, guide Policy, episodes, days int, seed int64, workers int, alpha, gamma float64) [][]Transition {
+	if episodes <= 0 {
+		return nil
+	}
+	cloner, ok := guide.(Cloner)
+	if !ok {
+		workers = 1
+	}
+	rollout := func(g Policy, ep int) []Transition {
+		epSeed := DemoEpisodeSeed(seed, ep)
+		env := sim.New(city, sim.DefaultOptions(days), epSeed)
+		g.BeginEpisode(epSeed)
+		var buf []Transition
+		chooser := PolicyChooser(env, g)
+		RunEpisode(env,
+			func(id int, obs sim.Observation) int { return chooser(id, obs) },
+			alpha, gamma,
+			func(id int, tr Transition) { buf = append(buf, tr) },
+		)
+		return buf
+	}
+	if parallel.Resolve(workers) == 1 || episodes == 1 {
+		out := make([][]Transition, episodes)
+		for ep := 0; ep < episodes; ep++ {
+			out[ep] = rollout(guide, ep)
+		}
+		return out
+	}
+	out, _ := parallel.Map(context.Background(), workers, episodes, func(_ context.Context, ep int) ([]Transition, error) {
+		return rollout(cloner.CloneForWorker(), ep), nil
+	})
+	return out
+}

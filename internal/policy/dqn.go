@@ -32,6 +32,11 @@ type DQN struct {
 	// the standard offline-RL overestimation failure.
 	CQLAlpha float64
 
+	// Workers bounds the goroutines used for batched Q-network inference
+	// and parallel demonstration rollouts; <= 0 means GOMAXPROCS. Any value
+	// produces byte-identical results — it only changes wall-clock.
+	Workers int
+
 	// EvalEpsilon adds a small random-valid-action rate at evaluation time.
 	// A deterministic argmax executed simultaneously by every agent in a
 	// region herds them onto one station; a little jitter restores the
@@ -118,12 +123,54 @@ func (d *DQN) choose(obs sim.Observation) int {
 	return a
 }
 
-// Act implements Policy (greedy over the learned network).
+// chooseFromQ is choose with the Q-row already evaluated. The ε draw comes
+// first, exactly as in choose, so the d.src draw sequence is unchanged.
+func (d *DQN) chooseFromQ(obs sim.Observation, qs []float64, eps float64) int {
+	if d.src.Bool(eps) {
+		var valid []int
+		for i, ok := range obs.Mask {
+			if ok {
+				valid = append(valid, i)
+			}
+		}
+		if len(valid) == 0 {
+			return 0
+		}
+		return valid[d.src.Intn(len(valid))]
+	}
+	best, bestQ := -1, math.Inf(-1)
+	for i := 0; i < sim.NumActions; i++ {
+		if obs.Mask[i] && qs[i] > bestQ {
+			best, bestQ = i, qs[i]
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+// Act implements Policy (greedy over the learned network). Observations are
+// collected serially (Observe refreshes env caches), the shared network
+// evaluates all rows sharded across Workers (weights read-only), and the
+// ε-greedy draws then consume d.src serially in vacant order — the same
+// draw sequence as a per-taxi loop, so output is byte-identical for any
+// worker count.
 func (d *DQN) Act(env *sim.Env, vacant []int) map[int]sim.Action {
 	actions := make(map[int]sim.Action, len(vacant))
-	for _, id := range vacant {
-		obs := env.Observe(id)
-		actions[id] = sim.ActionFromIndex(d.choose(obs))
+	obs := make([]sim.Observation, len(vacant))
+	rows := make([][]float64, len(vacant))
+	for i, id := range vacant {
+		obs[i] = env.Observe(id)
+		rows[i] = obs[i].Features
+	}
+	qs := d.net.ForwardRows(rows, d.Workers)
+	eps := d.EvalEpsilon
+	if d.exploring {
+		eps = d.eps
+	}
+	for i, id := range vacant {
+		actions[id] = sim.ActionFromIndex(d.chooseFromQ(obs[i], qs[i], eps))
 	}
 	return actions
 }
@@ -199,19 +246,20 @@ func (d *DQN) learn() {
 // on-policy Train. Q-learning is off-policy, so learning from ground-truth
 // driver trajectories is sound and lets the network start from competent
 // behavior instead of random queue-flooding exploration.
+//
+// Rollouts are guide-driven (the learner's weights never influence the
+// trajectories), so episodes fan out across Workers; the replay buffer and
+// the offline sweeps then consume them serially in episode order, keeping
+// the result byte-identical to a serial run.
 func (d *DQN) Pretrain(city *synth.City, guide Policy, episodes, days int, seed int64) {
-	env := sim.New(city, sim.DefaultOptions(days), seed)
-	for ep := 0; ep < episodes; ep++ {
-		epSeed := seed + 7000 + int64(ep)
-		env.Reset(epSeed)
-		guide.BeginEpisode(epSeed)
-		d.BeginEpisode(epSeed)
-		chooser := PolicyChooser(env, guide)
-		RunEpisode(env,
-			func(id int, obs sim.Observation) int { return chooser(id, obs) },
-			d.Alpha, d.Gamma,
-			func(id int, tr Transition) { d.remember(tr) },
-		)
+	bufs := CollectDemos(city, guide, episodes, days, seed, d.Workers, d.Alpha, d.Gamma)
+	for ep, buf := range bufs {
+		// Restore d.src exactly where the serial loop left it: reset at the
+		// top of the episode and untouched by the guide-driven rollout.
+		d.BeginEpisode(DemoEpisodeSeed(seed, ep))
+		for _, tr := range buf {
+			d.remember(tr)
+		}
 		// Offline sweep over the demonstration data.
 		steps := len(d.replay) / d.Batch
 		for i := 0; i < steps; i++ {

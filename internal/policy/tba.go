@@ -17,6 +17,10 @@ type TBA struct {
 	Gamma  float64
 	LR     float64
 	Hidden []int
+	// Workers bounds the goroutines for batched actor inference and
+	// parallel demonstration rollouts; <= 0 means GOMAXPROCS. Results are
+	// byte-identical for any value.
+	Workers int
 
 	net *nn.MLP
 	opt *nn.Adam
@@ -66,12 +70,26 @@ func (t *TBA) sample(obs sim.Observation) int {
 	return t.src.WeightedChoice(nn.Softmax(logits, mask))
 }
 
-// Act implements Policy.
+// Act implements Policy. Observations are collected serially (Observe
+// refreshes env caches), the shared actor evaluates all rows sharded across
+// Workers, and sampling then consumes t.src serially in vacant order — the
+// same draw sequence as a per-taxi loop, so output is byte-identical for
+// any worker count.
 func (t *TBA) Act(env *sim.Env, vacant []int) map[int]sim.Action {
 	actions := make(map[int]sim.Action, len(vacant))
-	for _, id := range vacant {
-		obs := env.Observe(id)
-		actions[id] = sim.ActionFromIndex(t.sample(obs))
+	obs := make([]sim.Observation, len(vacant))
+	rows := make([][]float64, len(vacant))
+	for i, id := range vacant {
+		obs[i] = env.Observe(id)
+		rows[i] = obs[i].Features
+	}
+	logits := t.net.ForwardRows(rows, t.Workers)
+	for i, id := range vacant {
+		mask := make([]bool, sim.NumActions)
+		for j := range mask {
+			mask[j] = obs[i].Mask[j]
+		}
+		actions[id] = sim.ActionFromIndex(t.src.WeightedChoice(nn.Softmax(logits[i], mask)))
 	}
 	return actions
 }
@@ -79,20 +97,14 @@ func (t *TBA) Act(env *sim.Env, vacant []int) map[int]sim.Action {
 // Pretrain behavior-clones the actor toward guide's decisions over
 // demonstration episodes — a warm start before REINFORCE fine-tuning. The
 // cross-entropy gradient is the policy gradient with unit advantage.
+//
+// Rollouts are guide-driven, so episodes fan out across Workers and the
+// cloning updates consume them serially in episode order — byte-identical
+// to a serial run.
 func (t *TBA) Pretrain(city *synth.City, guide Policy, episodes, days int, seed int64) {
-	env := sim.New(city, sim.DefaultOptions(days), seed)
-	for ep := 0; ep < episodes; ep++ {
-		epSeed := seed + 7000 + int64(ep)
-		env.Reset(epSeed)
-		guide.BeginEpisode(epSeed)
-		t.BeginEpisode(epSeed)
-		var batch []Transition
-		chooser := PolicyChooser(env, guide)
-		RunEpisode(env,
-			func(id int, obs sim.Observation) int { return chooser(id, obs) },
-			1.0, t.Gamma,
-			func(id int, tr Transition) { batch = append(batch, tr) },
-		)
+	bufs := CollectDemos(city, guide, episodes, days, seed, t.Workers, 1.0, t.Gamma)
+	for ep, batch := range bufs {
+		t.BeginEpisode(DemoEpisodeSeed(seed, ep))
 		t.net.ZeroGrad()
 		for i, tr := range batch {
 			logits := t.net.Forward(nn.FromSlice(1, sim.FeatureSize, tr.Obs), true)

@@ -10,12 +10,14 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -44,6 +46,9 @@ type Config struct {
 	PretrainEpisodes int
 	TrainEpisodes    int
 	Alpha            float64
+	// Workers bounds the goroutines used to train and evaluate strategies;
+	// <= 0 means GOMAXPROCS. Results are byte-identical for any value.
+	Workers int
 }
 
 // DefaultConfig returns the configuration for a scale.
@@ -120,37 +125,53 @@ func (c Config) evaluate(city *synth.City, p policy.Policy) *sim.Results {
 }
 
 // BuildPolicies constructs and trains the six strategies with the shared
-// teacher-guided protocol.
+// teacher-guided protocol. Each learner trains on its own worker with its
+// own teacher instance — the teacher re-derives all per-episode state from
+// the episode seed, so separate instances demonstrate identical behavior
+// and the result is byte-identical to the old shared-teacher serial loop
+// for any worker count.
 func (c Config) BuildPolicies(city *synth.City) map[string]policy.Policy {
-	teacher := policy.NewCoordinator()
-	out := map[string]policy.Policy{
-		"GT":  policy.NewGroundTruth(),
-		"SD2": policy.NewSD2(),
+	builders := []func() policy.Policy{
+		func() policy.Policy { return policy.NewGroundTruth() },
+		func() policy.Policy { return policy.NewSD2() },
+		func() policy.Policy {
+			tql := policy.NewTQL(c.Alpha)
+			tql.Pretrain(city, policy.NewCoordinator(), c.PretrainEpisodes, 1, c.Seed)
+			tql.Train(city, c.TrainEpisodes, 1, c.Seed)
+			return tql
+		},
+		func() policy.Policy {
+			dqn := policy.NewDQN(c.Alpha, c.Seed)
+			dqn.Workers = c.Workers
+			dqn.Pretrain(city, policy.NewCoordinator(), c.PretrainEpisodes, 1, c.Seed)
+			dqn.Train(city, (c.TrainEpisodes+1)/2, 1, c.Seed)
+			return dqn
+		},
+		func() policy.Policy {
+			tba := policy.NewTBA(c.Seed)
+			tba.Workers = c.Workers
+			tba.Pretrain(city, policy.NewCoordinator(), c.PretrainEpisodes, 1, c.Seed)
+			tba.Train(city, (c.TrainEpisodes+1)/2, 1, c.Seed)
+			return tba
+		},
+		func() policy.Policy {
+			ccfg := core.DefaultConfig(c.Alpha, c.Seed)
+			ccfg.Workers = c.Workers
+			fm, err := core.New(ccfg)
+			if err != nil {
+				panic("report: " + err.Error())
+			}
+			fm.Pretrain(city, policy.NewCoordinator(), c.PretrainEpisodes, 1, c.Seed)
+			fm.Train(city, c.TrainEpisodes, 1, c.Seed)
+			return fm
+		},
 	}
-
-	tql := policy.NewTQL(c.Alpha)
-	tql.Pretrain(city, teacher, c.PretrainEpisodes, 1, c.Seed)
-	tql.Train(city, c.TrainEpisodes, 1, c.Seed)
-	out["TQL"] = tql
-
-	dqn := policy.NewDQN(c.Alpha, c.Seed)
-	dqn.Pretrain(city, teacher, c.PretrainEpisodes, 1, c.Seed)
-	dqn.Train(city, (c.TrainEpisodes+1)/2, 1, c.Seed)
-	out["DQN"] = dqn
-
-	tba := policy.NewTBA(c.Seed)
-	tba.Pretrain(city, teacher, c.PretrainEpisodes, 1, c.Seed)
-	tba.Train(city, (c.TrainEpisodes+1)/2, 1, c.Seed)
-	out["TBA"] = tba
-
-	fm, err := core.New(core.DefaultConfig(c.Alpha, c.Seed))
-	if err != nil {
-		panic("report: " + err.Error())
+	pols, _ := parallel.Map(context.Background(), c.Workers, len(builders),
+		func(_ context.Context, i int) (policy.Policy, error) { return builders[i](), nil })
+	out := make(map[string]policy.Policy, len(pols))
+	for i, name := range MethodNames {
+		out[name] = pols[i]
 	}
-	fm.Pretrain(city, teacher, c.PretrainEpisodes, 1, c.Seed)
-	fm.Train(city, c.TrainEpisodes, 1, c.Seed)
-	out["FairMove"] = fm
-
 	return out
 }
 
@@ -164,13 +185,24 @@ func Run(cfg Config) (*Bundle, error) {
 	b := &Bundle{
 		Config:    cfg,
 		City:      city,
-		Results:   make(map[string]*sim.Results, len(pols)),
+		Results:   cfg.evaluateAll(city, pols),
 		Ablations: make(map[string]*sim.Results),
 	}
-	for name, p := range pols {
-		b.Results[name] = cfg.evaluate(city, p)
-	}
 	return b, nil
+}
+
+// evaluateAll evaluates every policy on its own worker and private
+// environment, reducing into the results map in MethodNames order.
+func (c Config) evaluateAll(city *synth.City, pols map[string]policy.Policy) map[string]*sim.Results {
+	res, _ := parallel.Map(context.Background(), c.Workers, len(MethodNames),
+		func(_ context.Context, i int) (*sim.Results, error) {
+			return c.evaluate(city, pols[MethodNames[i]]), nil
+		})
+	out := make(map[string]*sim.Results, len(res))
+	for i, name := range MethodNames {
+		out[name] = res[i]
+	}
+	return out
 }
 
 // RunGTOnly executes just the ground-truth run (enough for Figs. 3-8).
@@ -193,28 +225,31 @@ func RunGTOnly(cfg Config) (*Bundle, error) {
 func (b *Bundle) RunAlphaSweep(alphas []float64) error {
 	sorted := append([]float64(nil), alphas...)
 	sort.Float64s(sorted)
-	teacher := policy.NewCoordinator()
 	b.Alphas = sorted
-	b.AlphaRewards = nil
-	b.AlphaPE = nil
-	b.AlphaPF = nil
-	for _, a := range sorted {
-		fm, err := core.New(core.DefaultConfig(a, b.Config.Seed))
-		if err != nil {
-			return err
-		}
-		fm.Pretrain(b.City, teacher, b.Config.PretrainEpisodes, 1, b.Config.Seed)
-		st := fm.Train(b.City, b.Config.TrainEpisodes, 1, b.Config.Seed)
-		r := 0.0
-		if len(st.MeanReward) > 0 {
-			r = st.MeanReward[len(st.MeanReward)-1]
-		}
-		b.AlphaRewards = append(b.AlphaRewards, r)
-		res := b.Config.evaluate(b.City, fm)
-		b.AlphaPE = append(b.AlphaPE, metrics.FleetPE(res))
-		b.AlphaPF = append(b.AlphaPF, metrics.ProfitFairness(res))
-	}
-	return nil
+	b.AlphaRewards = make([]float64, len(sorted))
+	b.AlphaPE = make([]float64, len(sorted))
+	b.AlphaPF = make([]float64, len(sorted))
+	// Each α trains and evaluates on its own worker with a private FairMove
+	// and teacher; the slices index by sorted-α position, so the sweep is
+	// byte-identical for any worker count.
+	return parallel.ForEach(context.Background(), b.Config.Workers, len(sorted),
+		func(_ context.Context, i int) error {
+			cfg := core.DefaultConfig(sorted[i], b.Config.Seed)
+			cfg.Workers = b.Config.Workers
+			fm, err := core.New(cfg)
+			if err != nil {
+				return err
+			}
+			fm.Pretrain(b.City, policy.NewCoordinator(), b.Config.PretrainEpisodes, 1, b.Config.Seed)
+			st := fm.Train(b.City, b.Config.TrainEpisodes, 1, b.Config.Seed)
+			if len(st.MeanReward) > 0 {
+				b.AlphaRewards[i] = st.MeanReward[len(st.MeanReward)-1]
+			}
+			res := b.Config.evaluate(b.City, fm)
+			b.AlphaPE[i] = metrics.FleetPE(res)
+			b.AlphaPF[i] = metrics.ProfitFairness(res)
+			return nil
+		})
 }
 
 // nearestOnly wraps a policy, forcing every charge decision to the nearest
@@ -270,12 +305,9 @@ func RunFull(cfg Config, alphas []float64) (*Bundle, error) {
 	b := &Bundle{
 		Config:      cfg,
 		City:        city,
-		Results:     make(map[string]*sim.Results, len(pols)),
+		Results:     cfg.evaluateAll(city, pols),
 		Ablations:   make(map[string]*sim.Results),
 		policyCache: pols,
-	}
-	for name, p := range pols {
-		b.Results[name] = cfg.evaluate(city, p)
 	}
 	if len(alphas) > 0 {
 		if err := b.RunAlphaSweep(alphas); err != nil {

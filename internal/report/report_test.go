@@ -11,6 +11,9 @@ var smallBundle *Bundle
 
 func bundle(t *testing.T) *Bundle {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("full report pipeline; skipped in short mode")
+	}
 	if smallBundle != nil {
 		return smallBundle
 	}
