@@ -1,13 +1,20 @@
 # CI entry points. `make ci` is the gate every change must pass:
 # vet + build + the full test suite, then the short tier again under the
 # race detector (the parallel runtime's serial≡parallel tests stay enabled
-# in short mode precisely so the race pass exercises them).
+# in short mode precisely so the race pass exercises them), then the
+# coverage floor on the fault-injection surface.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+# Statement-coverage floor for the scenario engine and the trace codec —
+# the packages whose tests ARE the regression harness (golden digests,
+# fuzz corpora): uncovered code there is unpinned behavior.
+COVER_PKGS = ./internal/scenario/ ./internal/trace/
+COVER_FLOOR = 70
 
-ci: vet build test race
+.PHONY: ci vet build test race cover fuzz bench
+
+ci: vet build test race cover
 
 vet:
 	$(GO) vet ./...
@@ -22,6 +29,25 @@ test:
 # determinism tests, which fan training and evaluation across goroutines.
 race:
 	$(GO) test -short -race ./...
+
+# Enforce the coverage floor per package (committed fuzz seed corpora run
+# as ordinary test cases here, so short mode still replays them).
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		$(GO) test -short -cover -coverprofile=cover.out $$pkg || exit 1; \
+		pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		rm -f cover.out; \
+		echo "$$pkg statement coverage: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN {exit (p+0 < f) ? 1 : 0}' || \
+			{ echo "coverage below floor for $$pkg"; exit 1; }; \
+	done
+
+# Explore the fuzz targets beyond the committed corpora (not part of ci;
+# run locally when touching the parser or codec).
+fuzz:
+	$(GO) test ./internal/scenario/ -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/trace/ -fuzz FuzzDecodeEvents -fuzztime 30s
+	$(GO) test ./internal/trace/ -fuzz FuzzEventRoundTrip -fuzztime 30s
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

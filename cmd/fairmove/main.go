@@ -3,13 +3,17 @@
 // Subcommands:
 //
 //	fairmove train   [-seed N] [-fleet N] [-alpha A] [-episodes N] [-model FILE]
-//	fairmove eval    [-seed N] [-fleet N] [-method M] [-model FILE]
-//	fairmove compare [-seed N] [-fleet N] [-alpha A]
+//	fairmove eval    [-seed N] [-fleet N] [-method M] [-model FILE] [-scenario SPEC.json]
+//	fairmove compare [-seed N] [-fleet N] [-alpha A] [-scenario SPEC.json]
 //
 // `train` trains CMA2C and optionally saves the networks; `eval` evaluates
 // one strategy (loading a saved model for FairMove if given); `compare`
 // runs all six strategies on identical demand and prints the paper's
 // headline metrics.
+//
+// -scenario conditions evaluation on a perturbation spec (station outages,
+// demand surges, GPS dropouts, …; see internal/scenario): every method then
+// scores under the identical fault schedule. Training always runs clean.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 
 	fairmove "repro"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -64,6 +69,22 @@ func newSystem(seed int64, fleet int, alpha float64, episodes int) (*fairmove.Sy
 	return fairmove.NewSystem(cfg)
 }
 
+// applyScenario loads a spec file and installs it on the system.
+func applyScenario(s *fairmove.System, path string) error {
+	if path == "" {
+		return nil
+	}
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	if err := s.SetScenario(spec); err != nil {
+		return err
+	}
+	fmt.Printf("scenario %q: %d events\n", spec.Name, len(spec.Events))
+	return nil
+}
+
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	seed, fleet, alpha := commonFlags(fs)
@@ -100,11 +121,15 @@ func cmdEval(args []string) error {
 	seed, fleet, alpha := commonFlags(fs)
 	method := fs.String("method", "FairMove", "strategy: GT, SD2, TQL, DQN, TBA, or FairMove")
 	model := fs.String("model", "", "saved FairMove model to load instead of training")
+	scenarioPath := fs.String("scenario", "", "JSON scenario spec to condition evaluation on")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	s, err := newSystem(*seed, *fleet, *alpha, 0)
 	if err != nil {
+		return err
+	}
+	if err := applyScenario(s, *scenarioPath); err != nil {
 		return err
 	}
 	if *model != "" {
@@ -133,11 +158,15 @@ func cmdEval(args []string) error {
 func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	seed, fleet, alpha := commonFlags(fs)
+	scenarioPath := fs.String("scenario", "", "JSON scenario spec to condition evaluation on")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	s, err := newSystem(*seed, *fleet, *alpha, 0)
 	if err != nil {
+		return err
+	}
+	if err := applyScenario(s, *scenarioPath); err != nil {
 		return err
 	}
 	cmps, err := s.CompareAll()

@@ -1,5 +1,6 @@
-// Outage demonstrates failure injection: the busiest charging station goes
-// down for the evening peak and the report shows how idle times and profit
+// Outage demonstrates scenario-based failure injection: the busiest
+// charging station goes down for the evening peak — composed with a demand
+// surge in the same window — and the report shows how idle times and profit
 // absorb the hit under uncoordinated drivers versus coordinated dispatch.
 //
 //	go run ./examples/outage
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/synth"
@@ -41,10 +43,23 @@ func main() {
 	}
 	fmt.Printf("busiest station: CS-%03d with %d charging events\n\n", busiest, most)
 
+	// Declare the fault schedule once; every policy below runs under the
+	// byte-identical perturbation. An equivalent spec could be loaded from
+	// JSON with scenario.Load and passed to `fairmove compare -scenario`.
+	spec, err := scenario.NewBuilder("evening-outage").
+		Describe("busiest station dark 16:00-22:00 under a 1.5x evening surge").
+		StationOutage(busiest, 16*60, 22*60).
+		DemandSurge(-1, 17*60, 21*60, 1.5).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := scenario.Attach(env, spec); err != nil {
+		log.Fatal(err)
+	}
+
 	run := func(name string, p policy.Policy) {
 		env.Reset(6)
-		// Outage from 16:00 to 22:00 — covering the evening charging peak.
-		env.ScheduleOutage(sim.Outage{Station: busiest, FromMin: 16 * 60, ToMin: 22 * 60})
 		p.BeginEpisode(6)
 		for !env.Done() {
 			env.Step(p.Act(env, env.VacantTaxis()))

@@ -25,6 +25,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/synth"
@@ -159,6 +160,12 @@ type System struct {
 	city *synth.City
 	fm   *core.FairMove
 
+	// scn is the installed perturbation scenario (nil = clean run). It
+	// conditions evaluation only; training always runs on the clean city, so
+	// scenario scores measure robustness of a policy, not adaptation to a
+	// disclosed fault schedule.
+	scn *scenario.Spec
+
 	// mu guards trained. CompareAll trains methods on concurrent workers;
 	// each method is owned by exactly one worker, so only the shared cache
 	// needs the lock.
@@ -196,6 +203,36 @@ func NewSystem(cfg Config) (*System, error) {
 
 // Config returns the (default-filled) configuration.
 func (s *System) Config() Config { return s.cfg }
+
+// SetScenario conditions all subsequent Evaluate/CompareAll calls on a
+// perturbation scenario (station outages, demand surges, GPS dropouts, …),
+// validated against this system's city. Every method then scores under the
+// identical fault schedule. SetScenario(nil) restores clean evaluation.
+func (s *System) SetScenario(spec *scenario.Spec) error {
+	if spec != nil {
+		if err := scenario.ValidateFor(spec, s.city); err != nil {
+			return err
+		}
+	}
+	s.scn = spec
+	return nil
+}
+
+// Scenario returns the installed scenario spec, or nil for clean runs.
+func (s *System) Scenario() *scenario.Spec { return s.scn }
+
+// newEvalEnv builds an evaluation environment with the installed scenario
+// (if any) attached.
+func (s *System) newEvalEnv() *sim.Env {
+	env := sim.New(s.city, s.evalOptions(), s.cfg.Seed)
+	if s.scn != nil {
+		// Validated in SetScenario; Attach re-checks against the same city.
+		if _, err := scenario.Attach(env, s.scn); err != nil {
+			panic("fairmove: " + err.Error())
+		}
+	}
+	return env
+}
 
 // TrainReport summarizes FairMove training.
 type TrainReport struct {
@@ -292,8 +329,7 @@ func (s *System) Evaluate(m Method) (EvalReport, error) {
 	if err != nil {
 		return EvalReport{}, err
 	}
-	env := sim.New(s.city, s.evalOptions(), s.cfg.Seed)
-	res := policy.Evaluate(p, env, s.cfg.Seed+1000)
+	res := policy.Evaluate(p, s.newEvalEnv(), s.cfg.Seed+1000)
 	return evalReport(m, res), nil
 }
 
@@ -353,8 +389,7 @@ func (s *System) CompareAll() ([]Comparison, error) {
 			if err != nil {
 				return nil, err
 			}
-			env := sim.New(s.city, s.evalOptions(), s.cfg.Seed)
-			return policy.Evaluate(p, env, s.cfg.Seed+1000), nil
+			return policy.Evaluate(p, s.newEvalEnv(), s.cfg.Seed+1000), nil
 		})
 	if err != nil {
 		return nil, err

@@ -368,10 +368,30 @@ func (m *Model) randPointIn(src *rng.Source, region int) geo.Point {
 // Sample generates the requests arriving in [tMin, tMin+slotMin) using src.
 // Request times are uniform within the slot.
 func (m *Model) Sample(src *rng.Source, tMin, slotMin int) []Request {
+	return m.SampleScaled(src, tMin, slotMin, nil)
+}
+
+// ScaleFunc returns a region's demand-rate multiplier for a slot: 1 leaves
+// the region unperturbed, >1 is a surge, <1 a drought, 0 silences it.
+// Scenario engines use it to perturb demand without touching the model.
+type ScaleFunc func(region int) float64
+
+// SampleScaled is Sample with a per-region rate multiplier applied to the
+// expected slot demand before the Poisson draw. A nil scale, or one that
+// returns 1 everywhere, consumes exactly the same random stream as Sample,
+// so unperturbed regions see an identical realization.
+func (m *Model) SampleScaled(src *rng.Source, tMin, slotMin int, scale ScaleFunc) []Request {
 	var out []Request
 	n := m.part.Len()
 	for region := 0; region < n; region++ {
 		mean := m.ExpectedSlotDemand(region, tMin, slotMin)
+		if scale != nil {
+			if f := scale(region); f > 0 {
+				mean *= f
+			} else {
+				mean = 0
+			}
+		}
 		count := src.Poisson(mean)
 		for i := 0; i < count; i++ {
 			out = append(out, m.sampleOne(src, region, tMin+src.Intn(maxInt(slotMin, 1))))

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/policy"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/synth"
@@ -106,8 +107,14 @@ type Bundle struct {
 	// Ablations maps ablation names to results (populated by RunAblations).
 	Ablations map[string]*sim.Results
 
-	// policyCache retains the trained policies so ablations can re-evaluate
-	// them under modified environments.
+	// Scenarios maps scenario name → method → results under that fault
+	// schedule, and ScenarioOrder preserves run order for formatting.
+	// Populated by RunScenarios.
+	Scenarios     map[string]map[string]*sim.Results
+	ScenarioOrder []string
+
+	// policyCache retains the trained policies so ablations and scenario
+	// runs can re-evaluate them under modified environments.
 	policyCache map[string]policy.Policy
 }
 
@@ -183,10 +190,11 @@ func Run(cfg Config) (*Bundle, error) {
 	}
 	pols := cfg.BuildPolicies(city)
 	b := &Bundle{
-		Config:    cfg,
-		City:      city,
-		Results:   cfg.evaluateAll(city, pols),
-		Ablations: make(map[string]*sim.Results),
+		Config:      cfg,
+		City:        city,
+		Results:     cfg.evaluateAll(city, pols),
+		Ablations:   make(map[string]*sim.Results),
+		policyCache: pols,
 	}
 	return b, nil
 }
@@ -250,6 +258,85 @@ func (b *Bundle) RunAlphaSweep(alphas []float64) error {
 			b.AlphaPF[i] = metrics.ProfitFairness(res)
 			return nil
 		})
+}
+
+// RunScenarios re-evaluates every already-trained policy under each
+// perturbation scenario, on identical fault schedules: specs are data, so
+// method M and method N see byte-identical outages, surges, and dropouts.
+// Results land in b.Scenarios[spec.Name][method]; FormatScenarioDeltas
+// prints the per-scenario PE/PF deltas against the clean run. Requires a
+// bundle built by Run or RunFull (the trained policies are reused, not
+// retrained — scenario scores measure robustness, not adaptation).
+func (b *Bundle) RunScenarios(specs []*scenario.Spec) error {
+	if b.policyCache == nil {
+		return fmt.Errorf("report: RunScenarios needs a bundle built by Run or RunFull")
+	}
+	for _, spec := range specs {
+		if err := scenario.ValidateFor(spec, b.City); err != nil {
+			return err
+		}
+	}
+	if b.Scenarios == nil {
+		b.Scenarios = make(map[string]map[string]*sim.Results)
+	}
+	methods := b.methodsPresent()
+	// Fan out over (scenario, method) pairs; each cell owns a private env,
+	// so the grid reduces identically for any worker count.
+	n := len(specs) * len(methods)
+	cells, err := parallel.Map(context.Background(), b.Config.Workers, n,
+		func(_ context.Context, i int) (*sim.Results, error) {
+			spec, method := specs[i/len(methods)], methods[i%len(methods)]
+			env := sim.New(b.City, b.Config.simOptions(), b.Config.Seed)
+			if _, err := scenario.Attach(env, spec); err != nil {
+				return nil, err
+			}
+			return policy.Evaluate(b.policyCache[method], env, b.Config.Seed+1000), nil
+		})
+	if err != nil {
+		return err
+	}
+	for si, spec := range specs {
+		row := make(map[string]*sim.Results, len(methods))
+		for mi, m := range methods {
+			row[m] = cells[si*len(methods)+mi]
+		}
+		b.Scenarios[spec.Name] = row
+		b.ScenarioOrder = append(b.ScenarioOrder, spec.Name)
+	}
+	return nil
+}
+
+// FormatScenarioDeltas prints, for every scenario run, each method's PE
+// and PF with the relative change against its own clean-run score — the
+// robustness table of the scenario-conditioned evaluation.
+func (b *Bundle) FormatScenarioDeltas() string {
+	var sb strings.Builder
+	sb.WriteString("Scenario-conditioned evaluation (Δ vs clean run)\n")
+	for _, name := range b.ScenarioOrder {
+		row := b.Scenarios[name]
+		fmt.Fprintf(&sb, "  scenario %s:\n", name)
+		for _, m := range b.methodsPresent() {
+			res, ok := row[m]
+			if !ok {
+				continue
+			}
+			clean := b.Results[m]
+			pe, pf := metrics.FleetPE(res), metrics.ProfitFairness(res)
+			cpe, cpf := metrics.FleetPE(clean), metrics.ProfitFairness(clean)
+			fmt.Fprintf(&sb, "    %-10s PE %8.2f (%+6.1f%%)   PF %10.2f (%+6.1f%%)\n",
+				m, pe, pctDelta(cpe, pe), pf, pctDelta(cpf, pf))
+		}
+	}
+	return sb.String()
+}
+
+// pctDelta returns the relative change from base to v in percent, or 0
+// when the base is zero (nothing meaningful to normalize by).
+func pctDelta(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (v - base) / base * 100
 }
 
 // nearestOnly wraps a policy, forcing every charge decision to the nearest

@@ -3,6 +3,8 @@ package report
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/scenario"
 )
 
 // smallBundle runs the full pipeline once at test scale and is shared by
@@ -118,6 +120,56 @@ func TestFormatAllComplete(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("FormatAll missing section %q", want)
 		}
+	}
+}
+
+func TestRunScenariosProducesGrid(t *testing.T) {
+	b := bundle(t)
+	outage, err := scenario.NewBuilder("station-outage").
+		StationOutage(0, 0, 24*60).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	surge, err := scenario.NewBuilder("demand-surge").
+		DemandSurge(-1, 7*60, 10*60, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RunScenarios([]*scenario.Spec{outage, surge}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"station-outage", "demand-surge"} {
+		row, ok := b.Scenarios[name]
+		if !ok {
+			t.Fatalf("scenario %s missing from grid", name)
+		}
+		for _, m := range MethodNames {
+			if _, ok := row[m]; !ok {
+				t.Fatalf("scenario %s missing method %s", name, m)
+			}
+		}
+	}
+	out := b.FormatScenarioDeltas()
+	for _, want := range []string{"scenario station-outage", "scenario demand-surge", "FairMove", "PE", "PF"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scenario report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "%!") {
+		t.Fatalf("scenario report has formatting error:\n%s", out)
+	}
+}
+
+func TestRunScenariosRejectsUntrainedBundle(t *testing.T) {
+	empty := &Bundle{Config: DefaultConfig(1, ScaleSmall)}
+	spec, err := scenario.NewBuilder("x").StationOutage(0, 0, 10).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.RunScenarios([]*scenario.Spec{spec}); err == nil {
+		t.Fatal("RunScenarios accepted a bundle without trained policies")
 	}
 }
 

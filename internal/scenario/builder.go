@@ -1,0 +1,103 @@
+package scenario
+
+// Builder constructs a Spec fluently. Errors accumulate and surface once
+// at Build, so call chains stay uncluttered:
+//
+//	spec, err := scenario.NewBuilder("rush-hour-outage").
+//		StationOutage(3, 8*60, 11*60).
+//		DemandSurge(14, 7*60, 10*60, 2.5).
+//		Build()
+type Builder struct {
+	spec Spec
+}
+
+// NewBuilder starts a spec with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{spec: Spec{Name: name}}
+}
+
+// Describe sets the spec's human-readable description.
+func (b *Builder) Describe(desc string) *Builder {
+	b.spec.Description = desc
+	return b
+}
+
+// StationOutage closes a station to new arrivals over [from, to).
+func (b *Builder) StationOutage(station, from, to int) *Builder {
+	s := station
+	b.spec.Events = append(b.spec.Events, Event{
+		Kind: KindStationOutage, FromMin: from, ToMin: to, Station: &s,
+	})
+	return b
+}
+
+// StationDerate removes points charging points from a station over [from, to).
+func (b *Builder) StationDerate(station, points, from, to int) *Builder {
+	s := station
+	b.spec.Events = append(b.spec.Events, Event{
+		Kind: KindStationDerate, FromMin: from, ToMin: to, Station: &s, Points: points,
+	})
+	return b
+}
+
+// DemandScale multiplies a region's request rate by factor over [from, to).
+// A negative region means citywide. Use factor > 1 for surges, < 1 for
+// droughts, 0 for silence.
+func (b *Builder) DemandScale(region, from, to int, factor float64) *Builder {
+	ev := Event{Kind: KindDemandScale, FromMin: from, ToMin: to, Factor: factor}
+	if region >= 0 {
+		r := region
+		ev.Region = &r
+	}
+	b.spec.Events = append(b.spec.Events, ev)
+	return b
+}
+
+// DemandSurge is DemandScale named for its common use.
+func (b *Builder) DemandSurge(region, from, to int, factor float64) *Builder {
+	return b.DemandScale(region, from, to, factor)
+}
+
+// FareShock multiplies fares originating in a region (negative = citywide)
+// by factor over [from, to).
+func (b *Builder) FareShock(region, from, to int, factor float64) *Builder {
+	ev := Event{Kind: KindFareShock, FromMin: from, ToMin: to, Factor: factor}
+	if region >= 0 {
+		r := region
+		ev.Region = &r
+	}
+	b.spec.Events = append(b.spec.Events, ev)
+	return b
+}
+
+// GPSDropout freezes observations of taxis in a region (negative =
+// citywide) over [from, to).
+func (b *Builder) GPSDropout(region, from, to int) *Builder {
+	ev := Event{Kind: KindGPSDropout, FromMin: from, ToMin: to}
+	if region >= 0 {
+		r := region
+		ev.Region = &r
+	}
+	b.spec.Events = append(b.spec.Events, ev)
+	return b
+}
+
+// BatteryDegradation scales pack capacity by factor for the cohort of
+// taxis with ID % mod == rem (mod 0 = whole fleet), for the entire run.
+func (b *Builder) BatteryDegradation(mod, rem int, factor float64) *Builder {
+	b.spec.Events = append(b.spec.Events, Event{
+		Kind: KindBatteryDegradation, Factor: factor, CohortMod: mod, CohortRem: rem,
+	})
+	return b
+}
+
+// Build validates and normalizes the accumulated spec.
+func (b *Builder) Build() (*Spec, error) {
+	s := b.spec
+	s.Events = append([]Event(nil), b.spec.Events...)
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s.Normalize()
+	return &s, nil
+}

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes to the spec parser. Properties:
+//
+//  1. Parse never panics, whatever the input.
+//  2. Anything Parse accepts re-encodes canonically: Encode is total on
+//     parsed specs, Parse(Encode(s)) succeeds, and encoding is a fixpoint
+//     (the canonical form of a canonical form is itself).
+//
+// The committed corpus under testdata/fuzz/FuzzParse seeds the explorer
+// with one valid spec per event kind plus structurally-broken inputs; `go
+// test` replays it in short mode so regressions surface without -fuzz.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{"name":"s","events":[{"kind":"station-outage","from_min":0,"to_min":60,"station":0}]}`))
+	f.Add([]byte(`{"name":"s","events":[{"kind":"demand-scale","from_min":10,"to_min":20,"region":2,"factor":0.5}]}`))
+	f.Add([]byte(`{"name":"s","events":[{"kind":"battery-degradation","factor":0.8,"cohort_mod":2,"cohort_rem":1}]}`))
+	f.Add([]byte(`{"name":"s"`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(s)
+		if err != nil {
+			t.Fatalf("Encode failed on parsed spec: %v", err)
+		}
+		s2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parse of canonical encoding failed: %v\n%s", err, enc)
+		}
+		enc2, err := Encode(s2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixpoint:\n%s\nvs\n%s", enc, enc2)
+		}
+	})
+}

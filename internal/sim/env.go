@@ -205,8 +205,16 @@ type Env struct {
 
 	res Results
 
-	// outages holds scheduled station closures (failure injection).
-	outages []Outage
+	// hooks is the installed fault/perturbation engine (nil = clean run);
+	// rec receives the structured event log (nil = none). See hooks.go.
+	hooks Hooks
+	rec   Recorder
+	// closedNow tracks each station's closure state so the perturbation
+	// sweep can emit outage transition events exactly once per edge.
+	closedNow []bool
+	// staleFeats caches each taxi's last fresh observation features for GPS
+	// dropout windows. Lazily allocated on first Observe under hooks.
+	staleFeats [][]float64
 
 	// predictor is the learned demand forecaster (when LearnedForecast).
 	predictor *forecast.Predictor
@@ -215,32 +223,9 @@ type Env struct {
 	finalized      bool
 }
 
-// Outage closes a station to new arrivals during [FromMin, ToMin). Taxis
-// already plugged in keep charging; arriving taxis divert as if the queue
-// were hopeless. Used for failure-injection experiments.
-type Outage struct {
-	Station int
-	FromMin int
-	ToMin   int
-}
-
-// ScheduleOutage registers a station closure. It may be called at any time,
-// including mid-run; Reset clears all outages.
-func (e *Env) ScheduleOutage(o Outage) {
-	if o.Station < 0 || o.Station >= e.city.Stations.Len() {
-		panic(fmt.Sprintf("sim: outage for unknown station %d", o.Station))
-	}
-	e.outages = append(e.outages, o)
-}
-
-// stationClosed reports whether station is under an outage at minute m.
+// stationClosed reports whether station rejects new arrivals at minute m.
 func (e *Env) stationClosed(station, m int) bool {
-	for _, o := range e.outages {
-		if o.Station == station && m >= o.FromMin && m < o.ToMin {
-			return true
-		}
-	}
-	return false
+	return e.hooks != nil && e.hooks.StationClosed(station, m)
 }
 
 // New constructs an environment over city and resets it with seed.
@@ -287,7 +272,9 @@ func (e *Env) Reset(seed int64) {
 	}
 	e.supplySlot = -1
 	e.pending = nil
-	e.outages = nil
+	e.closedNow = make([]bool, len(e.stations))
+	e.staleFeats = nil
+	e.applyBatteryFactors()
 	if e.opts.LearnedForecast {
 		p, err := forecast.New(e.city.Partition.Len(), e.city.SlotsPerDay())
 		if err != nil {
@@ -411,9 +398,17 @@ func (e *Env) Step(actions map[int]Action) {
 		e.applyAction(id, a)
 	}
 
-	// 2. Generate this slot's requests, expire pending ones whose patience
-	// ran out, and match the rest oldest-first.
-	reqs := e.city.Demand.Sample(e.demandSrc, slotStart, e.slotLen)
+	// 2. Generate this slot's requests (under any scenario demand scaling),
+	// expire pending ones whose patience ran out, and match the rest
+	// oldest-first.
+	reqs := e.city.Demand.SampleScaled(e.demandSrc, slotStart, e.slotLen, e.demandScaleFunc(slotStart))
+	if e.hooks != nil {
+		for i := range reqs {
+			if f := e.hooks.FareScale(reqs[i].OriginRegion, reqs[i].TimeMin); f != 1 && f >= 0 {
+				reqs[i].Fare *= f
+			}
+		}
+	}
 	if e.predictor != nil {
 		counts := make([]float64, e.city.Partition.Len())
 		for _, r := range reqs {
@@ -437,8 +432,11 @@ func (e *Env) Step(actions map[int]Action) {
 	sort.Slice(e.pending, func(i, j int) bool { return e.pending[i].TimeMin < e.pending[j].TimeMin })
 	e.pending = e.matchRequests(e.pending)
 
-	// 3. Advance the world minute by minute.
+	// 3. Advance the world minute by minute. Station perturbations (outage
+	// edges, derate changes, queue evictions) apply first so taxis arriving
+	// in the same minute see the already-updated station state.
 	for m := slotStart; m < slotEnd; m++ {
+		e.applyStationPerturbations(m)
 		e.advanceMinute(m)
 	}
 
@@ -533,16 +531,13 @@ func (e *Env) applyAction(id int, a Action) {
 		nbs := e.city.Partition.Region(t.region).Neighbors
 		dest := nbs[a.Arg]
 		distKm := e.city.Partition.Distance(t.region, dest) * demand.RoadFactor
-		speed := demand.SpeedKmh(e.hourAt(e.nowMin))
-		travelMin := int(math.Ceil(distKm / speed * 60))
-		if travelMin < 1 {
-			travelMin = 1
-		}
+		travelMin := e.travelMinutes(distKm, e.nowMin)
 		// Crawl energy up to now is settled, then the relocation drive is
 		// paid in full; the taxi is unmatchable until it arrives. Seek time
 		// keeps accruing — relocation is still cruising.
 		e.accrueCrawl(t, e.nowMin)
 		e.driveTracked(t, distKm)
+		e.record(trace.Event{TimeMin: e.nowMin, Taxi: t.id, Region: t.region, Kind: trace.EvMove, A: dest, B: -1})
 		t.state = Relocating
 		t.arriveMin = e.nowMin + travelMin
 		// The hop's energy is paid in full above; crawl resumes at arrival.
@@ -552,15 +547,12 @@ func (e *Env) applyAction(id int, a Action) {
 		ns := e.nearStations[t.region]
 		st := ns[a.Arg]
 		distKm := st.DistKm * demand.RoadFactor
-		speed := demand.SpeedKmh(e.hourAt(e.nowMin))
-		travelMin := int(math.Ceil(distKm / speed * 60))
-		if travelMin < 1 {
-			travelMin = 1
-		}
+		travelMin := e.travelMinutes(distKm, e.nowMin)
 		// Close the cruise segment: seeking ends, idle begins (t3).
 		e.flushCruise(t, e.nowMin)
 		e.accrueCrawl(t, e.nowMin)
 		e.driveTracked(t, distKm)
+		e.record(trace.Event{TimeMin: e.nowMin, Taxi: t.id, Region: t.region, Kind: trace.EvChargeSeek, A: st.Label, B: -1})
 		t.state = ToStation
 		t.stationID = st.Label
 		t.departMin = e.nowMin
@@ -571,6 +563,19 @@ func (e *Env) applyAction(id int, a Action) {
 }
 
 func (e *Env) hourAt(min int) int { return (min / 60) % 24 }
+
+// travelMinutes converts a road distance to whole driving minutes at the
+// traffic speed of minute m, with a one-minute floor.
+func (e *Env) travelMinutes(distKm float64, m int) int {
+	travelMin := int(math.Ceil(distKm / demand.SpeedKmh(e.hourAt(m)) * 60))
+	if travelMin < 1 {
+		travelMin = 1
+	}
+	return travelMin
+}
+
+// geoDistKm returns the road distance between two points.
+func geoDistKm(a, b geo.Point) float64 { return geo.Distance(a, b) * demand.RoadFactor }
 
 // driveTracked consumes energy for km kilometres, accounting the distance
 // and any energy deficit from an empty pack exactly.
@@ -687,6 +692,7 @@ func (e *Env) serve(id int, req demand.Request) {
 	t.acct.RevenueCNY += req.Fare
 	t.acct.Trips++
 	t.slotProfit += req.Fare
+	e.record(trace.Event{TimeMin: pickup, Taxi: id, Region: req.OriginRegion, Kind: trace.EvPickup, A: req.DestRegion, B: -1, V: req.Fare})
 
 	e.res.ServedRequests++
 	e.res.TripStats = append(e.res.TripStats, TripStat{
@@ -721,6 +727,7 @@ func (e *Env) advanceMinute(m int) {
 		case Serving:
 			if m >= t.tripEndMin {
 				t.acct.ServeMin += float64(t.tripEndMin - t.pickupMin)
+				e.record(trace.Event{TimeMin: t.tripEndMin, Taxi: t.id, Region: t.tripDest, Kind: trace.EvDropoff, A: -1, B: -1})
 				t.state = Cruising
 				t.region = t.tripDest
 				t.vacantSinceMin = t.tripEndMin
@@ -738,6 +745,7 @@ func (e *Env) advanceMinute(m int) {
 					e.beginCharge(t, m)
 				} else {
 					t.state = Queued
+					e.record(trace.Event{TimeMin: m, Taxi: t.id, Region: t.region, Kind: trace.EvQueue, A: t.stationID, B: -1})
 				}
 			}
 		case ChargingState:
@@ -770,44 +778,12 @@ func (e *Env) shouldBalk(t *taxi) bool {
 	return float64(st.QueueLen()) >= threshold
 }
 
-// balk redirects taxi t to the least-loaded of the stations near its current
-// station's region, continuing the same idle window.
+// balk redirects taxi t away from a hopeless queue (or a closed station),
+// continuing the same idle window. The heavy lifting — including the
+// all-stations-closed fallback — lives in replanCharge.
 func (e *Env) balk(t *taxi, m int) {
 	t.balkCount++
-	cur := e.city.Stations.Station(t.stationID)
-	ns := e.nearStations[cur.Region]
-	best, bestLoad := -1, math.Inf(1)
-	for _, nb := range ns {
-		if nb.Label == t.stationID || e.stationClosed(nb.Label, m) {
-			continue
-		}
-		st := e.stations[nb.Label]
-		load := float64(st.QueueLen()-st.Free()) + nb.DistKm*0.1
-		if load < bestLoad {
-			best, bestLoad = nb.Label, load
-		}
-	}
-	if best < 0 {
-		// Nowhere else to go: join the queue after all.
-		t.balkCount = maxBalks
-		plugged := e.stations[t.stationID].Arrive(t.id)
-		if plugged {
-			e.beginCharge(t, m)
-		} else {
-			t.state = Queued
-		}
-		return
-	}
-	distKm := geo.Distance(cur.Loc, e.city.Stations.Station(best).Loc) * demand.RoadFactor
-	speed := demand.SpeedKmh(e.hourAt(m))
-	travelMin := int(math.Ceil(distKm / speed * 60))
-	if travelMin < 1 {
-		travelMin = 1
-	}
-	e.driveTracked(t, distKm)
-	t.stationID = best
-	t.arriveMin = m + travelMin
-	t.region = e.city.Stations.Station(best).Region
+	e.replanCharge(t, m, trace.EvBalk)
 }
 
 // beginCharge marks the plug-in of taxi t at minute m.
@@ -831,6 +807,7 @@ func (e *Env) beginCharge(t *taxi, m int) {
 	idle := float64(m - t.departMin)
 	t.acct.IdleMin += idle
 	e.res.ChargeStartsByHour[e.hourAt(m)]++
+	e.record(trace.Event{TimeMin: m, Taxi: t.id, Region: t.region, Kind: trace.EvPlug, A: t.stationID, B: -1})
 }
 
 // chargeMinute advances one minute of charging for t at absolute minute m.
@@ -869,6 +846,7 @@ func (e *Env) finishCharge(t *taxi, m int) {
 		StartSoC:  t.chargeSoC0,
 		EndSoC:    t.batt.SoC,
 	})
+	e.record(trace.Event{TimeMin: m, Taxi: t.id, Region: e.city.Stations.Station(t.stationID).Region, Kind: trace.EvUnplug, A: t.stationID, B: -1, V: t.chargeEnergy})
 	t.state = Cruising
 	t.region = e.city.Stations.Station(t.stationID).Region
 	t.vacantSinceMin = m

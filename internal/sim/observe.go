@@ -90,6 +90,23 @@ func (e *Env) Observe(id int) Observation {
 	if len(f) != FeatureSize {
 		panic("sim: feature size mismatch")
 	}
+
+	// GPS dropout: while the taxi's region is in a dropout window its
+	// features freeze at the last fresh observation — the policy decides on
+	// stale state. The action mask stays current: it encodes physical
+	// validity (battery, topology), not telemetry.
+	if e.hooks != nil {
+		if e.staleFeats == nil {
+			e.staleFeats = make([][]float64, len(e.taxis))
+		}
+		if e.hooks.ObsStale(t.region, now) {
+			if cached := e.staleFeats[id]; cached != nil {
+				f = append(f[:0], cached...)
+			}
+		} else {
+			e.staleFeats[id] = append(e.staleFeats[id][:0], f...)
+		}
+	}
 	return Observation{Features: f, Mask: e.ValidMask(id)}
 }
 

@@ -32,6 +32,10 @@ type State struct {
 	station  Station
 	charging map[int]bool // taxi IDs currently plugged in
 	waiting  []int        // FIFO of taxi IDs
+	// derate is the number of points currently unavailable (capacity
+	// perturbation, e.g. broken chargers or grid limits). In-progress
+	// sessions are never interrupted; the excess drains as they finish.
+	derate int
 }
 
 // NewState returns an empty runtime state for st.
@@ -50,12 +54,56 @@ func (s *State) Arrive(taxi int) (plugged bool) {
 	if s.charging[taxi] || s.inQueue(taxi) {
 		panic(fmt.Sprintf("station: taxi %d arrived twice at station %d", taxi, s.station.ID))
 	}
-	if len(s.charging) < s.station.Points {
+	if len(s.charging) < s.EffectivePoints() {
 		s.charging[taxi] = true
 		return true
 	}
 	s.waiting = append(s.waiting, taxi)
 	return false
+}
+
+// EffectivePoints returns the points currently usable: the inventory minus
+// the derate, floored at zero.
+func (s *State) EffectivePoints() int {
+	p := s.station.Points - s.derate
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Derate returns the number of points currently unavailable.
+func (s *State) Derate() int { return s.derate }
+
+// SetDerate marks n points unavailable to new sessions (clamped to the
+// inventory). Taxis already plugged in keep charging even when occupancy
+// exceeds the derated capacity — the excess drains as sessions finish.
+// Lowering the derate promotes waiting taxis into whatever capacity it
+// frees; the promoted IDs are returned in FIFO order (empty when none).
+func (s *State) SetDerate(n int) (promoted []int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > s.station.Points {
+		n = s.station.Points
+	}
+	s.derate = n
+	for len(s.waiting) > 0 && len(s.charging) < s.EffectivePoints() {
+		next := s.waiting[0]
+		s.waiting = s.waiting[1:]
+		s.charging[next] = true
+		promoted = append(promoted, next)
+	}
+	return promoted
+}
+
+// DrainQueue empties the waiting queue and returns the evicted taxi IDs in
+// FIFO order. The simulator uses it when a station closes: waiting taxis
+// must re-plan rather than queue at a dead station.
+func (s *State) DrainQueue() []int {
+	out := s.waiting
+	s.waiting = nil
+	return out
 }
 
 func (s *State) inQueue(taxi int) bool {
@@ -75,7 +123,9 @@ func (s *State) Finish(taxi int) (promoted int) {
 		panic(fmt.Sprintf("station: taxi %d finished but was not charging at station %d", taxi, s.station.ID))
 	}
 	delete(s.charging, taxi)
-	if len(s.waiting) == 0 {
+	if len(s.waiting) == 0 || len(s.charging) >= s.EffectivePoints() {
+		// Nothing to promote, or the freed point is one the derate already
+		// claimed (occupancy still at or above the derated capacity).
 		return -1
 	}
 	next := s.waiting[0]
@@ -99,9 +149,16 @@ func (s *State) Abandon(taxi int) bool {
 // Occupied returns the number of points in use.
 func (s *State) Occupied() int { return len(s.charging) }
 
-// Free returns the number of unoccupied charging points (a component of the
-// paper's global-view state).
-func (s *State) Free() int { return s.station.Points - len(s.charging) }
+// Free returns the number of unoccupied charging points available to new
+// sessions (a component of the paper's global-view state), respecting any
+// derate and floored at zero while excess sessions drain.
+func (s *State) Free() int {
+	f := s.EffectivePoints() - len(s.charging)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
 
 // QueueLen returns the number of taxis waiting.
 func (s *State) QueueLen() int { return len(s.waiting) }
@@ -109,10 +166,11 @@ func (s *State) QueueLen() int { return len(s.waiting) }
 // IsCharging reports whether taxi currently holds a point.
 func (s *State) IsCharging(taxi int) bool { return s.charging[taxi] }
 
-// Reset clears all runtime occupancy.
+// Reset clears all runtime occupancy and any derate.
 func (s *State) Reset() {
 	s.charging = make(map[int]bool)
 	s.waiting = nil
+	s.derate = 0
 }
 
 // CheckInvariants verifies internal consistency; tests and the simulator's
@@ -121,7 +179,10 @@ func (s *State) CheckInvariants() error {
 	if len(s.charging) > s.station.Points {
 		return fmt.Errorf("station %d: %d charging > %d points", s.station.ID, len(s.charging), s.station.Points)
 	}
-	if len(s.waiting) > 0 && len(s.charging) < s.station.Points {
+	if s.derate < 0 || s.derate > s.station.Points {
+		return fmt.Errorf("station %d: derate %d outside [0, %d]", s.station.ID, s.derate, s.station.Points)
+	}
+	if len(s.waiting) > 0 && len(s.charging) < s.EffectivePoints() {
 		return fmt.Errorf("station %d: queue non-empty with %d free points", s.station.ID, s.Free())
 	}
 	seen := make(map[int]bool)

@@ -54,6 +54,22 @@ func TestConfig(seed int64) Config {
 	}
 }
 
+// MicroConfig returns the smallest usable city: the golden-trace harness
+// runs full days under several scenarios and must stay fast in `go test
+// -short`, and its fixture specs reference stations/regions by index, so
+// the inventory here (4 stations, 12 regions) is part of the fixtures'
+// contract.
+func MicroConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		Regions:     12,
+		Stations:    4,
+		Fleet:       24,
+		TripsPerDay: 15 * 24,
+		SlotMinutes: 10,
+	}
+}
+
 // FullScaleConfig returns the paper's full scale (slow; used with -full
 // benchmark runs only).
 func FullScaleConfig(seed int64) Config {

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeEvents feeds arbitrary bytes to the event decoder. The decoder
+// must never panic, and whenever it accepts an input, re-encoding the result
+// must be canonical: decode(encode(decode(x))) == decode(x).
+func FuzzDecodeEvents(f *testing.F) {
+	var seed bytes.Buffer
+	if err := EncodeEvents(&seed, sampleEvents()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("plug|1|2|3|4|5|6\n"))
+	f.Add([]byte("pickup|80|1|0|4|0|33.7\nunplug|75|3|5|2|-1|41.25\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("plug|1|2|3|4|5|6"))   // no trailing newline
+	f.Add([]byte("||||||\nwarp|x|y\n")) // malformed
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, err := DecodeEvents(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc bytes.Buffer
+		if err := EncodeEvents(&enc, events); err != nil {
+			t.Fatalf("decoded events failed to re-encode: %v", err)
+		}
+		again, err := DecodeEvents(&enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v", err)
+		}
+		if !eventsEqual(events, again) {
+			t.Fatalf("canonicalization not idempotent:\nfirst:  %+v\nsecond: %+v", events, again)
+		}
+	})
+}
+
+// FuzzEventRoundTrip builds one event from fuzzed fields and asserts the
+// strict round-trip property decode(encode(x)) == x.
+func FuzzEventRoundTrip(f *testing.F) {
+	f.Add(10, 3, 7, uint8(EvPickup), 4, -1, 33.7)
+	f.Add(-5, -1, -1, uint8(EvOutage), 0, 1, 0.0)
+	f.Add(0, 0, 0, uint8(EvUnplug), 0, 0, math.MaxFloat64)
+	f.Fuzz(func(t *testing.T, timeMin, taxi, region int, kind uint8, a, b int, v float64) {
+		ev := Event{
+			TimeMin: timeMin, Taxi: taxi, Region: region,
+			Kind: EventKind(kind % uint8(numEventKinds)),
+			A:    a, B: b, V: v,
+		}
+		var buf bytes.Buffer
+		if err := EncodeEvents(&buf, []Event{ev}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeEvents(&buf)
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", ev, err)
+		}
+		if len(got) != 1 || !eventsEqual([]Event{ev}, got) {
+			t.Fatalf("round trip diverged: %+v -> %+v", ev, got)
+		}
+	})
+}
+
+// eventsEqual compares events with NaN-tolerant float comparison (NaN != NaN
+// under ==, but a NaN payload round-trips to the canonical NaN bit pattern).
+func eventsEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if math.IsNaN(x.V) && math.IsNaN(y.V) {
+			x.V, y.V = 0, 0
+		}
+		if !reflect.DeepEqual(x, y) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{TimeMin: 0, Taxi: 3, Region: 7, Kind: EvChargeSeek, A: 2, B: -1},
+		{TimeMin: 14, Taxi: 3, Region: 5, Kind: EvPlug, A: 2, B: -1},
+		{TimeMin: 75, Taxi: 3, Region: 5, Kind: EvUnplug, A: 2, B: -1, V: 41.25},
+		{TimeMin: 80, Taxi: 1, Region: 0, Kind: EvPickup, A: 4, V: 33.7},
+		{TimeMin: 95, Taxi: 1, Region: 4, Kind: EvDropoff, A: -1, B: -1},
+		{TimeMin: 100, Taxi: -1, Region: 2, Kind: EvOutage, A: 1, B: 1},
+		{TimeMin: 101, Taxi: 9, Region: 2, Kind: EvBalk, A: 1, B: -1},
+		{TimeMin: 160, Taxi: -1, Region: 2, Kind: EvDerate, A: 1, B: 3},
+		{TimeMin: 161, Taxi: 5, Region: 2, Kind: EvReplan, A: 1, B: 0},
+		{TimeMin: 170, Taxi: 5, Region: 8, Kind: EvMove, A: 9},
+		{TimeMin: 180, Taxi: 6, Region: 8, Kind: EvQueue, A: 0},
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := EncodeEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, got) {
+		t.Fatalf("round trip diverged:\nin:  %+v\nout: %+v", events, got)
+	}
+}
+
+// The encoding must be byte-stable: the same events always produce the same
+// bytes, and the digest is a pure function of the encoding.
+func TestEventEncodingByteStable(t *testing.T) {
+	events := sampleEvents()
+	var a, b bytes.Buffer
+	if err := EncodeEvents(&a, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeEvents(&b, events); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of the same events differ")
+	}
+	if DigestEvents(events) != DigestEvents(sampleEvents()) {
+		t.Fatal("digest not reproducible")
+	}
+	if DigestEvents(events) == DigestEvents(events[:len(events)-1]) {
+		t.Fatal("digest insensitive to a dropped event")
+	}
+}
+
+func TestEventKindNamesStable(t *testing.T) {
+	// The text labels are part of the on-disk digest contract; renaming one
+	// silently invalidates every committed golden trace.
+	want := []string{
+		"pickup", "dropoff", "move", "charge-seek", "queue", "plug", "unplug",
+		"balk", "outage", "derate", "replan",
+	}
+	if int(numEventKinds) != len(want) {
+		t.Fatalf("have %d kinds, want %d — update the golden traces and this list together", numEventKinds, len(want))
+	}
+	for i, w := range want {
+		if EventKind(i).String() != w {
+			t.Fatalf("kind %d renamed %q -> %q; existing digests are invalidated", i, w, EventKind(i).String())
+		}
+	}
+}
+
+func TestDecodeEventsRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"plug|1|2\n",              // too few fields
+		"warp|1|2|3|4|5|6\n",      // unknown kind
+		"plug|x|2|3|4|5|6\n",      // bad int
+		"plug|1|2|3|4|5|zz\n",     // bad float
+		"plug|1|2|3|4|5|6|7|8\n",  // too many fields
+		"plug|1|2|3|4|5|6\nbad\n", // valid line then garbage
+	}
+	for _, c := range cases {
+		if _, err := DecodeEvents(strings.NewReader(c)); err == nil {
+			t.Errorf("no error decoding %q", c)
+		}
+	}
+	// Blank lines are tolerated (trailing newline artifacts).
+	got, err := DecodeEvents(strings.NewReader("\nplug|1|2|3|4|5|6\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank-line handling: got %v, %v", got, err)
+	}
+}
+
+func TestEncodeEventsRejectsUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeEvents(&buf, []Event{{Kind: numEventKinds}}); err == nil {
+		t.Fatal("no error encoding out-of-range kind")
+	}
+}
+
+func TestEventSpecialFloats(t *testing.T) {
+	events := []Event{
+		{Kind: EvUnplug, V: math.Inf(1)},
+		{Kind: EvUnplug, V: math.Inf(-1)},
+		{Kind: EvUnplug, V: 1e-323}, // subnormal
+	}
+	var buf bytes.Buffer
+	if err := EncodeEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		if math.Float64bits(events[i].V) != math.Float64bits(got[i].V) {
+			t.Fatalf("event %d: V %v round-tripped to %v", i, events[i].V, got[i].V)
+		}
+	}
+}
