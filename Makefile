@@ -12,9 +12,9 @@ GO ?= go
 COVER_PKGS = ./internal/scenario/ ./internal/trace/
 COVER_FLOOR = 70
 
-.PHONY: ci vet build test race cover fuzz bench
+.PHONY: ci vet build test race cover smoke fuzz bench
 
-ci: vet build test race cover
+ci: vet build test race cover smoke
 
 vet:
 	$(GO) vet ./...
@@ -41,6 +41,13 @@ cover:
 		awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN {exit (p+0 < f) ? 1 : 0}' || \
 			{ echo "coverage below floor for $$pkg"; exit 1; }; \
 	done
+
+# Empty-distribution regression smoke: drive the report CLI through the
+# committed zero-trip/zero-charge fixture with telemetry on. A median or
+# percentile called on an empty series panics here before it can ship.
+smoke:
+	$(GO) run ./cmd/benchtab -scale small -gt-only -telemetry \
+		-scenario testdata/scenarios/total-blackout.json > /dev/null
 
 # Explore the fuzz targets beyond the committed corpora (not part of ci;
 # run locally when touching the parser or codec).

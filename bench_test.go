@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 var benchScale = flag.String("benchscale", "small", "benchmark scale: small, default, or full")
@@ -120,4 +121,32 @@ func BenchmarkAblationForecast(b *testing.B) {
 // BenchmarkHeadlineComparison regenerates the summary table of all methods.
 func BenchmarkHeadlineComparison(b *testing.B) {
 	benchSection(b, sharedBundle(b).FormatComparisonSummary)
+}
+
+// --- Telemetry overhead ---
+
+// The pair below measures the same CompareAll re-evaluation (policies are
+// trained once, outside the timer) with instrumentation off and on. The
+// contract is <5% wall-clock overhead: disabled telemetry is nil-handle
+// no-ops, enabled telemetry is pre-resolved atomic adds on the slot path.
+func BenchmarkCompareAllNoTelemetry(b *testing.B)   { benchCompareAll(b, false) }
+func BenchmarkCompareAllWithTelemetry(b *testing.B) { benchCompareAll(b, true) }
+
+func benchCompareAll(b *testing.B, tel bool) {
+	s, err := NewSystem(microConfig(11, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.CompareAll(); err != nil { // train and warm the policy cache
+		b.Fatal(err)
+	}
+	if tel {
+		s.SetTelemetry(telemetry.NewRegistry())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CompareAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -14,15 +14,24 @@
 // -scenario conditions evaluation on a perturbation spec (station outages,
 // demand surges, GPS dropouts, …; see internal/scenario): every method then
 // scores under the identical fault schedule. Training always runs clean.
+//
+// Every subcommand also accepts -telemetry (collect fleet-wide counters,
+// dumped to stderr every 30s and on exit; never changes results) and
+// -pprof ADDR (serve net/http/pprof for live profiling).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"time"
 
 	fairmove "repro"
+	"repro/internal/parallel"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -59,6 +68,40 @@ func commonFlags(fs *flag.FlagSet) (*int64, *int, *float64) {
 	return seed, fleet, alpha
 }
 
+// observeFlags registers the observability flags shared by every subcommand.
+func observeFlags(fs *flag.FlagSet) (*bool, *string) {
+	telemetryOn := fs.Bool("telemetry", false,
+		"collect fleet-wide metrics; dumped to stderr every 30s and on exit (never changes results)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return telemetryOn, pprofAddr
+}
+
+// observe starts pprof and telemetry as requested. The returned registry is
+// nil when telemetry is off; the finish func stops the periodic dump and
+// prints the final snapshot — call it via defer (the subcommands return
+// errors to main rather than os.Exit-ing, so defers always run).
+func observe(telemetryOn bool, pprofAddr string) (*telemetry.Registry, func()) {
+	if pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fairmove: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", pprofAddr)
+	}
+	if !telemetryOn {
+		return nil, func() {}
+	}
+	reg := telemetry.NewRegistry()
+	parallel.SetTelemetry(reg)
+	stop := reg.DumpEvery(30*time.Second, os.Stderr)
+	return reg, func() {
+		stop()
+		parallel.SetTelemetry(nil)
+		fmt.Fprint(os.Stderr, "--- final telemetry ---\n"+reg.Snapshot().Text())
+	}
+}
+
 func newSystem(seed int64, fleet int, alpha float64, episodes int) (*fairmove.System, error) {
 	cfg := fairmove.DefaultConfig(seed)
 	cfg.Fleet = fleet
@@ -90,13 +133,17 @@ func cmdTrain(args []string) error {
 	seed, fleet, alpha := commonFlags(fs)
 	episodes := fs.Int("episodes", 6, "fine-tuning episodes")
 	model := fs.String("model", "", "path to save the trained networks")
+	telemetryOn, pprofAddr := observeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg, finish := observe(*telemetryOn, *pprofAddr)
+	defer finish()
 	s, err := newSystem(*seed, *fleet, *alpha, *episodes)
 	if err != nil {
 		return err
 	}
+	s.SetTelemetry(reg)
 	rep := s.Train()
 	fmt.Printf("trained %d episodes, %d transitions\n", rep.Episodes, rep.Transitions)
 	for i, r := range rep.MeanReward {
@@ -122,13 +169,17 @@ func cmdEval(args []string) error {
 	method := fs.String("method", "FairMove", "strategy: GT, SD2, TQL, DQN, TBA, or FairMove")
 	model := fs.String("model", "", "saved FairMove model to load instead of training")
 	scenarioPath := fs.String("scenario", "", "JSON scenario spec to condition evaluation on")
+	telemetryOn, pprofAddr := observeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg, finish := observe(*telemetryOn, *pprofAddr)
+	defer finish()
 	s, err := newSystem(*seed, *fleet, *alpha, 0)
 	if err != nil {
 		return err
 	}
+	s.SetTelemetry(reg)
 	if err := applyScenario(s, *scenarioPath); err != nil {
 		return err
 	}
@@ -159,13 +210,17 @@ func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	seed, fleet, alpha := commonFlags(fs)
 	scenarioPath := fs.String("scenario", "", "JSON scenario spec to condition evaluation on")
+	telemetryOn, pprofAddr := observeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reg, finish := observe(*telemetryOn, *pprofAddr)
+	defer finish()
 	s, err := newSystem(*seed, *fleet, *alpha, 0)
 	if err != nil {
 		return err
 	}
+	s.SetTelemetry(reg)
 	if err := applyScenario(s, *scenarioPath); err != nil {
 		return err
 	}

@@ -2,7 +2,10 @@ package fairmove
 
 import (
 	"reflect"
+	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // microConfig is deliberately smaller than tinyConfig: the worker-invariance
@@ -88,6 +91,69 @@ func TestCompareAllWorkerInvariance(t *testing.T) {
 				serial[i].Method, serial[i], parallel[i])
 		}
 	}
+}
+
+// Telemetry is write-only, so enabling it must not perturb the byte-identity
+// contract: CompareAll with telemetry on must match across worker counts, and
+// the deterministic counter namespaces (sim.*, training prefixes) must also
+// be identical — those counters are pure functions of the trajectory. The
+// parallel.* namespace is scheduler-dependent by documented contract and is
+// excluded, as are float histogram sums (accumulation order varies when
+// concurrent evaluations share one registry).
+func TestCompareAllWorkerInvarianceWithTelemetry(t *testing.T) {
+	run := func(workers int) ([]Comparison, telemetry.Snapshot) {
+		s, err := NewSystem(microConfig(3, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		s.SetTelemetry(reg)
+		out, err := s.CompareAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, reg.Snapshot()
+	}
+	serial, snap1 := run(1)
+	parallel, snap4 := run(4)
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Fatalf("telemetry perturbed results for %s:\n%+v\n%+v",
+				serial[i].Method, serial[i], parallel[i])
+		}
+	}
+	c1, c4 := deterministicCounters(snap1), deterministicCounters(snap4)
+	if !reflect.DeepEqual(c1, c4) {
+		t.Fatalf("deterministic counters diverged across worker counts:\nworkers=1: %v\nworkers=4: %v", c1, c4)
+	}
+	// Sanity: the instrumentation actually fired.
+	for _, name := range []string{"sim.slots", "sim.matches", "core.episodes", "dqn.transitions"} {
+		if c1[name] == 0 {
+			t.Errorf("counter %s never incremented", name)
+		}
+	}
+	// And the results with telemetry match the plain run of the same seed.
+	s, err := NewSystem(microConfig(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := s.CompareAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, serial) {
+		t.Fatalf("enabling telemetry changed the report:\nplain: %+v\ntelemetry: %+v", plain, serial)
+	}
+}
+
+func deterministicCounters(s telemetry.Snapshot) map[string]int64 {
+	out := make(map[string]int64, len(s.Counters))
+	for k, v := range s.Counters {
+		if !strings.HasPrefix(k, "parallel.") {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // AlphaSweep must likewise be invariant to the worker count.

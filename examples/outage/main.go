@@ -65,19 +65,12 @@ func main() {
 			env.Step(p.Act(env, env.VacantTaxis()))
 		}
 		res := env.Results()
-		idle := res.IdleTimes()
-		med := 0.0
-		if len(idle) > 0 {
-			med = stats.Median(idle)
-		}
+		med, _ := stats.Median(res.IdleTimes())
 		fmt.Printf("%-28s meanPE=%6.2f  median idle=%5.1f min  served=%d\n",
 			name, metrics.FleetPE(res), med, res.ServedRequests)
 	}
 
-	baseIdle := 0.0
-	if it := base.IdleTimes(); len(it) > 0 {
-		baseIdle = stats.Median(it)
-	}
+	baseIdle, _ := stats.Median(base.IdleTimes())
 	fmt.Printf("%-28s meanPE=%6.2f  median idle=%5.1f min  served=%d\n",
 		"GT, no outage", metrics.FleetPE(base), baseIdle, base.ServedRequests)
 	run("GT, evening outage", policy.NewGroundTruth())

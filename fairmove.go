@@ -29,6 +29,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // Method names one of the six displacement strategies of the evaluation.
@@ -166,6 +167,13 @@ type System struct {
 	// disclosed fault schedule.
 	scn *scenario.Spec
 
+	// tel, when non-nil, receives simulation counters from every evaluation
+	// environment and training stats from every learner built after
+	// SetTelemetry. The registry is shared — CompareAll's concurrent methods
+	// aggregate into it — so facade telemetry reads as fleet-wide totals;
+	// use internal/report for per-method snapshots.
+	tel *telemetry.Registry
+
 	// mu guards trained. CompareAll trains methods on concurrent workers;
 	// each method is owned by exactly one worker, so only the shared cache
 	// needs the lock.
@@ -221,6 +229,16 @@ func (s *System) SetScenario(spec *scenario.Spec) error {
 // Scenario returns the installed scenario spec, or nil for clean runs.
 func (s *System) Scenario() *scenario.Spec { return s.scn }
 
+// SetTelemetry installs (or, with nil, removes) a metrics registry. All
+// subsequent evaluation environments and newly trained learners write their
+// counters, gauges, and timers into it. Telemetry is write-only — nothing
+// reads a metric back into a decision — so results are byte-identical with
+// or without it.
+func (s *System) SetTelemetry(r *telemetry.Registry) {
+	s.tel = r
+	s.fm.SetTelemetry(r)
+}
+
 // newEvalEnv builds an evaluation environment with the installed scenario
 // (if any) attached.
 func (s *System) newEvalEnv() *sim.Env {
@@ -231,6 +249,7 @@ func (s *System) newEvalEnv() *sim.Env {
 			panic("fairmove: " + err.Error())
 		}
 	}
+	env.SetTelemetry(s.tel)
 	return env
 }
 
@@ -279,18 +298,21 @@ func (s *System) policyFor(m Method) (policy.Policy, error) {
 		p = policy.NewSD2()
 	case TQL:
 		q := policy.NewTQL(s.cfg.Alpha)
+		q.SetTelemetry(s.tel)
 		q.Pretrain(s.city, teacher, s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 		q.Train(s.city, s.cfg.TrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 		p = q
 	case DQN:
 		d := policy.NewDQN(s.cfg.Alpha, s.cfg.Seed)
 		d.Workers = s.cfg.Workers
+		d.SetTelemetry(s.tel)
 		d.Pretrain(s.city, teacher, s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 		d.Train(s.city, (s.cfg.TrainEpisodes+1)/2, s.cfg.TrainDays, s.cfg.Seed)
 		p = d
 	case TBA:
 		b := policy.NewTBA(s.cfg.Seed)
 		b.Workers = s.cfg.Workers
+		b.SetTelemetry(s.tel)
 		b.Pretrain(s.city, teacher, s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 		b.Train(s.city, (s.cfg.TrainEpisodes+1)/2, s.cfg.TrainDays, s.cfg.Seed)
 		p = b
@@ -352,15 +374,9 @@ func evalReport(m Method, res *sim.Results) EvalReport {
 		FleetProfitCNY:   res.FleetProfit(),
 		ChargeEvents:     len(res.ChargeStats),
 	}
-	if pes := res.PEs(); len(pes) > 0 {
-		r.MedianPE = stats.Median(pes)
-	}
-	if ct := res.CruiseTimes(); len(ct) > 0 {
-		r.MedianCruiseMin = stats.Median(ct)
-	}
-	if it := res.IdleTimes(); len(it) > 0 {
-		r.MedianIdleMin = stats.Median(it)
-	}
+	r.MedianPE, _ = stats.Median(res.PEs())
+	r.MedianCruiseMin, _ = stats.Median(res.CruiseTimes())
+	r.MedianIdleMin, _ = stats.Median(res.IdleTimes())
 	return r
 }
 
@@ -449,6 +465,7 @@ func (s *System) LoadModel(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	fm.SetTelemetry(s.tel)
 	s.fm = fm
 	s.trained[FairMove] = fm
 	return nil

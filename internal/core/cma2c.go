@@ -89,6 +89,8 @@ type FairMove struct {
 	// behavior-cloning batches from it between policy-gradient updates to
 	// anchor the actor against collapse (in the spirit of DQfD).
 	demo []policy.Transition
+
+	tel coreTel
 }
 
 // New creates an untrained FairMove system.
@@ -199,6 +201,7 @@ func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) Train
 	if len(f.demo) > 0 {
 		f.actorOpt = nn.NewAdam(f.cfg.ActorLR * 0.1)
 	}
+	f.tel.phase.Set(1)
 
 	for ep := 0; ep < episodes; ep++ {
 		epSeed := seed + int64(ep)
@@ -209,6 +212,7 @@ func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) Train
 		// Lines 3-7 of Algorithm 1: roll out the joint policy, storing the
 		// transitions of all active e-taxis.
 		var buf []policy.Transition
+		stopEp := f.tel.EpisodeTime.Start()
 		mean := policy.RunEpisode(env,
 			func(id int, obs sim.Observation) int { return f.choose(obs) },
 			f.cfg.Alpha, f.cfg.Gamma,
@@ -216,7 +220,11 @@ func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) Train
 		)
 		stats.MeanReward = append(stats.MeanReward, mean)
 		stats.Transitions += len(buf)
+		f.tel.Episodes.Inc()
+		f.tel.Transitions.Add(int64(len(buf)))
+		f.tel.MeanReward.Set(mean)
 		if len(buf) == 0 {
+			stopEp()
 			stats.CriticLoss = append(stats.CriticLoss, 0)
 			stats.MeanAdvAbs = append(stats.MeanAdvAbs, 0)
 			continue
@@ -251,6 +259,9 @@ func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) Train
 		}
 		stats.CriticLoss = append(stats.CriticLoss, lossSum/float64(nUpd))
 		stats.MeanAdvAbs = append(stats.MeanAdvAbs, advSum/float64(nUpd))
+		f.tel.criticLoss.Set(lossSum / float64(nUpd))
+		f.tel.meanAdvAbs.Set(advSum / float64(nUpd))
+		stopEp()
 
 		// Target network hard update per episode (Eq. 7's θv').
 		f.targetCritic.CopyWeightsFrom(f.critic)
@@ -273,8 +284,11 @@ func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) Train
 // gradient steps below consume them serially in episode order, which keeps
 // the result byte-identical to a serial run.
 func (f *FairMove) Pretrain(city *synth.City, guide policy.Policy, episodes, days int, seed int64) {
+	f.tel.phase.Set(0)
 	bufs := policy.CollectDemos(city, guide, episodes, days, seed, f.cfg.Workers, f.cfg.Alpha, f.cfg.Gamma)
 	for ep, buf := range bufs {
+		f.tel.demoEpisodes.Inc()
+		f.tel.Transitions.Add(int64(len(buf)))
 		// BeginEpisode re-derives f.src exactly as the serial loop did
 		// before its rollout; the rollout itself never consumed f.src.
 		f.BeginEpisode(policy.DemoEpisodeSeed(seed, ep))
@@ -324,7 +338,8 @@ func (f *FairMove) cloneActor(buf []policy.Transition, idxs []int) {
 	}
 	f.actor.Backward(grad)
 	_, grads := f.actor.Params()
-	nn.ClipGrads(grads, 5)
+	f.tel.actorGrad.Observe(nn.ClipGrads(grads, 5))
+	f.tel.cloneSteps.Inc()
 	f.actorOpt.Step(f.actor)
 }
 
@@ -353,7 +368,8 @@ func (f *FairMove) updateCritic(buf []policy.Transition, idxs []int) float64 {
 	loss, grad := nn.MSELoss(pred, y)
 	f.critic.Backward(grad)
 	_, grads := f.critic.Params()
-	nn.ClipGrads(grads, 5)
+	f.tel.criticGrad.Observe(nn.ClipGrads(grads, 5))
+	f.tel.criticSteps.Inc()
 	f.criticOpt.Step(f.critic)
 	return loss
 }
@@ -413,7 +429,9 @@ func (f *FairMove) updateActor(buf []policy.Transition, idxs []int) float64 {
 	}
 	f.actor.Backward(grad)
 	_, grads := f.actor.Params()
-	nn.ClipGrads(grads, 5)
+	f.tel.actorGrad.Observe(nn.ClipGrads(grads, 5))
+	f.tel.actorSteps.Inc()
+	f.tel.advStd.Set(std)
 	f.actorOpt.Step(f.actor)
 	return advAbs / float64(n)
 }

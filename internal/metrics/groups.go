@@ -33,7 +33,7 @@ func StarGroupsByPE(r *sim.Results, groups int) (GroupAssignment, error) {
 	// Quantile cut points over on-duty taxis.
 	cuts := make([]float64, groups-1)
 	for i := 1; i < groups; i++ {
-		cuts[i-1] = stats.Percentile(pes, float64(i)/float64(groups)*100)
+		cuts[i-1], _ = stats.Percentile(pes, float64(i)/float64(groups)*100)
 	}
 	for id, a := range r.Accounts {
 		if a.OnDutyMin() <= 0 {

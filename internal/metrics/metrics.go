@@ -139,12 +139,8 @@ func Compare(name string, g, d *sim.Results) Comparison {
 		UnservedRequests: d.UnservedRequests,
 		GiniPE:           stats.Gini(d.PEs()),
 	}
-	if ct := d.CruiseTimes(); len(ct) > 0 {
-		c.MedianCruise = stats.Median(ct)
-	}
-	if it := d.IdleTimes(); len(it) > 0 {
-		c.MedianIdle = stats.Median(it)
-	}
+	c.MedianCruise, _ = stats.Median(d.CruiseTimes())
+	c.MedianIdle, _ = stats.Median(d.IdleTimes())
 	return c
 }
 

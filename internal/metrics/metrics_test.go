@@ -132,6 +132,74 @@ func TestHourlyBucketsAndReductions(t *testing.T) {
 	}
 }
 
+// TestZeroBaselineGuards pins the contract that every GT-relative metric is
+// defined as 0 when the ground-truth baseline sums to nothing — exactly the
+// inputs an all-stations-closed or zero-demand scenario produces. A missing
+// guard here is a division by zero that surfaces as ±Inf/NaN in the report.
+func TestZeroBaselineGuards(t *testing.T) {
+	empty := &sim.Results{SlotMinutes: 10}
+	d := fakeResults([]float64{5}, []int{10}, pes(40))
+	for name, got := range map[string]float64{
+		"PRCT": PRCT(empty, d),
+		"PRIT": PRIT(empty, d),
+		"PIPE": PIPE(empty, d),
+		"PIPF": PIPF(empty, d),
+	} {
+		if got != 0 {
+			t.Errorf("%s with empty baseline = %v, want 0", name, got)
+		}
+	}
+	// Blackout case: both sides empty.
+	for name, got := range map[string]float64{
+		"PRCT": PRCT(empty, empty),
+		"PRIT": PRIT(empty, empty),
+		"PIPE": PIPE(empty, empty),
+		"PIPF": PIPF(empty, empty),
+	} {
+		if got != 0 || math.IsNaN(got) {
+			t.Errorf("%s empty-vs-empty = %v, want 0", name, got)
+		}
+	}
+	// The full comparison bundle must format cleanly on empty results too.
+	c := Compare("blackout", empty, empty)
+	if s := c.String(); strings.Contains(s, "NaN") || strings.Contains(s, "%!") {
+		t.Errorf("empty comparison formats badly: %q", s)
+	}
+}
+
+// TestHourlyMeansEmptyHours pins that hours without any trips or charges
+// report a 0 mean rather than 0/0.
+func TestHourlyMeansEmptyHours(t *testing.T) {
+	empty := &sim.Results{}
+	for h, v := range HourlyMeanCruise(empty) {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("HourlyMeanCruise[%d] on empty results = %v", h, v)
+		}
+	}
+	for h, v := range HourlyMeanIdle(empty) {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("HourlyMeanIdle[%d] on empty results = %v", h, v)
+		}
+	}
+	// One populated hour must not leak into the other 23.
+	r := &sim.Results{}
+	r.TripStats = append(r.TripStats, sim.TripStat{PickupMin: 5 * 60, CruiseMin: 4})
+	r.ChargeStats = append(r.ChargeStats, trace.ChargingEvent{ArriveMin: 5 * 60, PlugMin: 5*60 + 12, FinishMin: 5*60 + 60})
+	cruise, idle := HourlyMeanCruise(r), HourlyMeanIdle(r)
+	for h := 0; h < 24; h++ {
+		wantCruise, wantIdle := 0.0, 0.0
+		if h == 5 {
+			wantCruise, wantIdle = 4, 12
+		}
+		if cruise[h] != wantCruise {
+			t.Fatalf("HourlyMeanCruise[%d] = %v, want %v", h, cruise[h], wantCruise)
+		}
+		if idle[h] != wantIdle {
+			t.Fatalf("HourlyMeanIdle[%d] = %v, want %v", h, idle[h], wantIdle)
+		}
+	}
+}
+
 func TestCompareBundle(t *testing.T) {
 	g := fakeResults([]float64{10, 20}, []int{30}, pes(30, 50))
 	d := fakeResults([]float64{5, 10}, []int{15}, pes(45, 45))

@@ -45,12 +45,20 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 	if workers > n {
 		workers = n
 	}
+	tel := batchTel()
 	if workers == 1 {
+		w0 := tel.worker(0)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(ctx, i); err != nil {
+			tel.queueDepth.Set(float64(n - i - 1))
+			stop := tel.taskTime.Start()
+			err := fn(ctx, i)
+			stop()
+			tel.tasks.Inc()
+			w0.Inc()
+			if err != nil {
 				return err
 			}
 		}
@@ -84,6 +92,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
+		wc := tel.worker(w)
 		go func() {
 			defer wg.Done()
 			for {
@@ -91,7 +100,12 @@ func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i
 				if i >= n || ctx.Err() != nil {
 					return
 				}
+				tel.queueDepth.Set(float64(n - i - 1))
+				stop := tel.taskTime.Start()
 				run(i)
+				stop()
+				tel.tasks.Inc()
+				wc.Inc()
 			}
 		}()
 	}

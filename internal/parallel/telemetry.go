@@ -1,0 +1,77 @@
+package parallel
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// telReg is the package-global registry. The worker pool is process-wide
+// infrastructure shared by every subsystem, so unlike Env/learner telemetry
+// it is installed once per process rather than per instance. Writes use an
+// atomic pointer so SetTelemetry is safe against in-flight batches.
+var telReg atomic.Pointer[telemetry.Registry]
+
+// SetTelemetry installs (or, with nil, removes) the pool's metrics registry.
+//
+// The pool emits: "parallel.batches" (ForEach/Map invocations),
+// "parallel.tasks" (tasks executed — deterministic), a "parallel.task"
+// wall-clock timer, "parallel.queue_depth" (tasks still unclaimed when one
+// is taken — a load gauge), and "parallel.worker.<i>.tasks" utilization
+// counters. Which worker claims which task is scheduler-dependent, so the
+// per-worker attribution, queue-depth gauge, and timer are NOT
+// run-to-run-stable; determinism comparisons must exclude the "parallel."
+// namespace and compare only the simulation/training counters.
+func SetTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		telReg.Store(nil)
+		return
+	}
+	telReg.Store(r)
+}
+
+// poolTel holds the handles for one ForEach invocation, resolved once per
+// batch so the per-task cost is an atomic add (or nothing when disabled).
+type poolTel struct {
+	tasks      *telemetry.Counter
+	queueDepth *telemetry.Gauge
+	taskTime   *telemetry.Timer
+	reg        *telemetry.Registry
+}
+
+func batchTel() poolTel {
+	r := telReg.Load()
+	if r == nil {
+		return poolTel{}
+	}
+	r.Counter("parallel.batches").Inc()
+	return poolTel{
+		tasks:      r.Counter("parallel.tasks"),
+		queueDepth: r.Gauge("parallel.queue_depth"),
+		taskTime:   r.Timer("parallel.task"),
+		reg:        r,
+	}
+}
+
+// worker returns the utilization counter for worker w (nil when disabled).
+func (p poolTel) worker(w int) *telemetry.Counter {
+	if p.reg == nil {
+		return nil
+	}
+	return p.reg.Counter("parallel.worker." + itoa(w) + ".tasks")
+}
+
+// itoa avoids strconv on the batch path for the tiny worker indices used.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 && i > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

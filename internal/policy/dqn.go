@@ -7,6 +7,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // DQN is the Deep Q-Network baseline [23]: a single network shared by all
@@ -53,7 +54,13 @@ type DQN struct {
 
 	exploring bool
 	eps       float64
+
+	tel TrainTel
 }
+
+// SetTelemetry installs (or, with nil, removes) training telemetry under the
+// "dqn." prefix.
+func (d *DQN) SetTelemetry(r *telemetry.Registry) { d.tel = NewTrainTel(r, "dqn") }
 
 // NewDQN returns an untrained DQN with the paper's optimizer settings
 // (Adam, lr 0.001) at a batch size scaled to the repro fleet.
@@ -177,6 +184,7 @@ func (d *DQN) Act(env *sim.Env, vacant []int) map[int]sim.Action {
 
 // remember stores a transition in the ring-buffer replay memory.
 func (d *DQN) remember(tr Transition) {
+	d.tel.Transitions.Inc()
 	if len(d.replay) < d.Buffer {
 		d.replay = append(d.replay, tr)
 		return
@@ -232,7 +240,8 @@ func (d *DQN) learn() {
 	d.net.Backward(grad)
 	params, grads := d.net.Params()
 	_ = params
-	nn.ClipGrads(grads, 5)
+	d.tel.GradNorm.Observe(nn.ClipGrads(grads, 5))
+	d.tel.Steps.Inc()
 	d.opt.Step(d.net)
 
 	d.steps++
@@ -284,6 +293,7 @@ func (d *DQN) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 		}
 		learnEvery := 4
 		nSeen := 0
+		stopEp := d.tel.EpisodeTime.Start()
 		mean := RunEpisode(env,
 			func(id int, obs sim.Observation) int { return d.choose(obs) },
 			d.Alpha, d.Gamma,
@@ -295,6 +305,10 @@ func (d *DQN) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 				}
 			},
 		)
+		stopEp()
+		d.tel.Episodes.Inc()
+		d.tel.MeanReward.Set(mean)
+		d.tel.Epsilon.Set(d.eps)
 		stats.MeanReward = append(stats.MeanReward, mean)
 	}
 	d.exploring = false

@@ -5,6 +5,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // TBA is the Trip Bandit Approach of the SIGSPATIAL Cup 2019 [6]: a
@@ -35,7 +36,13 @@ type TBA struct {
 	demo []Transition
 
 	exploring bool
+
+	tel TrainTel
 }
+
+// SetTelemetry installs (or, with nil, removes) training telemetry under the
+// "tba." prefix.
+func (t *TBA) SetTelemetry(r *telemetry.Registry) { t.tel = NewTrainTel(r, "tba") }
 
 // NewTBA returns an untrained TBA baseline.
 func NewTBA(seed int64) *TBA {
@@ -147,12 +154,17 @@ func (t *TBA) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 		t.exploring = true
 
 		var batch []Transition
+		stopEp := t.tel.EpisodeTime.Start()
 		mean := RunEpisode(env,
 			func(id int, obs sim.Observation) int { return t.sample(obs) },
 			1.0, // selfish: no fairness term
 			t.Gamma,
 			func(id int, tr Transition) { batch = append(batch, tr) },
 		)
+		stopEp()
+		t.tel.Episodes.Inc()
+		t.tel.Transitions.Add(int64(len(batch)))
+		t.tel.MeanReward.Set(mean)
 		stats.MeanReward = append(stats.MeanReward, mean)
 
 		// Demonstration anchor (see FairMove): occasional cloning batches
@@ -197,14 +209,16 @@ func (t *TBA) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 			nUpd++
 			if nUpd%64 == 0 {
 				_, grads := t.net.Params()
-				nn.ClipGrads(grads, 5)
+				t.tel.GradNorm.Observe(nn.ClipGrads(grads, 5))
+				t.tel.Steps.Inc()
 				t.opt.Step(t.net)
 				t.net.ZeroGrad()
 			}
 		}
 		if nUpd%64 != 0 {
 			_, grads := t.net.Params()
-			nn.ClipGrads(grads, 5)
+			t.tel.GradNorm.Observe(nn.ClipGrads(grads, 5))
+			t.tel.Steps.Inc()
 			t.opt.Step(t.net)
 		}
 	}

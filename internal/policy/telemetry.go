@@ -1,0 +1,39 @@
+package policy
+
+import "repro/internal/telemetry"
+
+// TrainTel bundles the per-epoch training diagnostics a learner emits:
+// episode/transition/update throughput, the latest mean decision reward and
+// exploration rate, the pre-clip gradient-norm distribution, and episode
+// wall-clock. The zero value is fully inert — every handle is nil and every
+// write a no-op — so learners embed it unconditionally and only pay when a
+// registry is installed. All values are write-only diagnostics: nothing here
+// feeds back into action selection or RNG streams, so enabling telemetry
+// cannot change a training trajectory. The EpisodeTime timer is the only
+// wall-clock-dependent family; determinism comparisons must ignore timers.
+type TrainTel struct {
+	Episodes    *telemetry.Counter
+	Transitions *telemetry.Counter
+	Steps       *telemetry.Counter // gradient (or Q-table) update steps
+	MeanReward  *telemetry.Gauge   // latest per-episode mean decision reward
+	Epsilon     *telemetry.Gauge   // latest exploration rate (ε-greedy learners)
+	GradNorm    *telemetry.Histogram
+	EpisodeTime *telemetry.Timer
+}
+
+// NewTrainTel resolves the standard training handles under a name prefix
+// (e.g. "dqn" → "dqn.episodes"). A nil registry yields the inert zero value.
+func NewTrainTel(r *telemetry.Registry, prefix string) TrainTel {
+	if r == nil {
+		return TrainTel{}
+	}
+	return TrainTel{
+		Episodes:    r.Counter(prefix + ".episodes"),
+		Transitions: r.Counter(prefix + ".transitions"),
+		Steps:       r.Counter(prefix + ".update_steps"),
+		MeanReward:  r.Gauge(prefix + ".mean_reward"),
+		Epsilon:     r.Gauge(prefix + ".epsilon"),
+		GradNorm:    r.Histogram(prefix+".grad_norm", 0, 10, 20),
+		EpisodeTime: r.Timer(prefix + ".episode"),
+	}
+}

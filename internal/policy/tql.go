@@ -6,6 +6,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // TQL is the standard Tabular Q-Learning baseline [22]: the state is the
@@ -25,7 +26,13 @@ type TQL struct {
 	src *rng.Source
 	// exploration switch: on during Train, off during evaluation.
 	exploring bool
+
+	tel TrainTel
 }
+
+// SetTelemetry installs (or, with nil, removes) training telemetry under the
+// "tql." prefix. The table learner has no gradients; GradNorm stays unused.
+func (t *TQL) SetTelemetry(r *telemetry.Registry) { t.tel = NewTrainTel(r, "tql") }
 
 type tqlState struct {
 	timeBin int
@@ -204,6 +211,7 @@ func (t *TQL) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 		}
 		pend := make(map[int]open)
 
+		stopEp := t.tel.EpisodeTime.Start()
 		mean := RunEpisode(env,
 			func(id int, obs sim.Observation) int {
 				st := t.stateOf(env, id)
@@ -228,8 +236,14 @@ func (t *TQL) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 				qs := t.entry(o.st)
 				qs[o.act] += t.LR * (target - qs[o.act])
 				t.q[o.st] = qs
+				t.tel.Transitions.Inc()
+				t.tel.Steps.Inc()
 			},
 		)
+		stopEp()
+		t.tel.Episodes.Inc()
+		t.tel.MeanReward.Set(mean)
+		t.tel.Epsilon.Set(t.Epsilon)
 		stats.MeanReward = append(stats.MeanReward, mean)
 	}
 	t.exploring = false

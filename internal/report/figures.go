@@ -27,8 +27,9 @@ func (b *Bundle) Fig3() string {
 		h.Add(t)
 	}
 	inBand := h.FractionInRange(45, 120)
+	med, _ := stats.Median(times)
 	sb.WriteString(fmt.Sprintf("  events=%d median=%.0fmin in[45,120)min=%.1f%% (paper: 73.5%%)\n",
-		len(times), stats.Median(times), inBand*100))
+		len(times), med, inBand*100))
 	for i := 0; i < len(h.Counts); i += 2 {
 		lo := h.Min + float64(i)*15
 		sb.WriteString(fmt.Sprintf("  %3.0f-%3.0f min: %5.1f%%\n", lo, lo+30, h.Fraction(i, i+2)*100))
@@ -169,9 +170,9 @@ func (b *Bundle) Fig8() string {
 		sb.WriteString("  no on-duty taxis\n")
 		return sb.String()
 	}
-	p20 := stats.Percentile(pes, 20)
-	p50 := stats.Percentile(pes, 50)
-	p80 := stats.Percentile(pes, 80)
+	p20, _ := stats.Percentile(pes, 20)
+	p50, _ := stats.Percentile(pes, 50)
+	p80, _ := stats.Percentile(pes, 80)
 	gap := 0.0
 	if p20 > 0 {
 		gap = (p80 - p20) / p20 * 100

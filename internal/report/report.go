@@ -23,6 +23,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // Scale selects the experiment size.
@@ -50,6 +51,24 @@ type Config struct {
 	// Workers bounds the goroutines used to train and evaluate strategies;
 	// <= 0 means GOMAXPROCS. Results are byte-identical for any value.
 	Workers int
+	// Telemetry, when non-nil, aggregates metrics from every training and
+	// evaluation run into the registry (the CLIs pass theirs for periodic
+	// dumps) and captures a per-method snapshot in Bundle.Telemetry /
+	// Bundle.ScenarioTelemetry. Each evaluation uses its own short-lived
+	// registry so concurrent methods don't mix, then merges into this one.
+	// Telemetry is write-only — nothing reads a metric back into the run —
+	// so enabling it never changes results.
+	Telemetry *telemetry.Registry
+	// Scenario, when non-nil, conditions every evaluation with the fault
+	// schedule (the -scenario flag of benchtab's gt-only mode). Validate
+	// against the city before running; Run/RunGTOnly do so.
+	Scenario *scenario.Spec
+}
+
+// WithTelemetry returns a copy of the Config with the registry installed.
+func (c Config) WithTelemetry(r *telemetry.Registry) Config {
+	c.Telemetry = r
+	return c
 }
 
 // DefaultConfig returns the configuration for a scale.
@@ -113,6 +132,13 @@ type Bundle struct {
 	Scenarios     map[string]map[string]*sim.Results
 	ScenarioOrder []string
 
+	// Telemetry maps method → the simulation-counter snapshot of its clean
+	// evaluation; ScenarioTelemetry adds the same per scenario. Populated
+	// only when Config.Telemetry is set; FormatTelemetry prints both and
+	// diffs each scenario cell against the method's clean run.
+	Telemetry         map[string]telemetry.Snapshot
+	ScenarioTelemetry map[string]map[string]telemetry.Snapshot
+
 	// policyCache retains the trained policies so ablations and scenario
 	// runs can re-evaluate them under modified environments.
 	policyCache map[string]policy.Policy
@@ -127,8 +153,34 @@ func (c Config) simOptions() sim.Options {
 
 // evaluate runs p on a fresh environment over the bundle's city.
 func (c Config) evaluate(city *synth.City, p policy.Policy) *sim.Results {
+	res, _ := c.evaluateTel(city, p)
+	return res
+}
+
+// evaluateTel is evaluate plus conditioning and observability: the fault
+// schedule in c.Scenario (if any) is attached to the fresh environment, and
+// when c.Telemetry is set the run writes to a private registry whose final
+// snapshot is returned and merged into c.Telemetry. The private registry
+// keeps concurrent evaluations separable per method; its counters are pure
+// functions of the trajectory, so the snapshot is deterministic.
+func (c Config) evaluateTel(city *synth.City, p policy.Policy) (*sim.Results, telemetry.Snapshot) {
 	env := sim.New(city, c.simOptions(), c.Seed)
-	return policy.Evaluate(p, env, c.Seed+1000)
+	if c.Scenario != nil {
+		if _, err := scenario.Attach(env, c.Scenario); err != nil {
+			// Run/RunGTOnly validate the spec against the city up front, so
+			// this is a programmer error, not an input error.
+			panic("report: " + err.Error())
+		}
+	}
+	var reg *telemetry.Registry
+	if c.Telemetry != nil {
+		reg = telemetry.NewRegistry()
+		env.SetTelemetry(reg)
+	}
+	res := policy.Evaluate(p, env, c.Seed+1000)
+	snap := reg.Snapshot()
+	c.Telemetry.Merge(snap)
+	return res, snap
 }
 
 // BuildPolicies constructs and trains the six strategies with the shared
@@ -143,6 +195,7 @@ func (c Config) BuildPolicies(city *synth.City) map[string]policy.Policy {
 		func() policy.Policy { return policy.NewSD2() },
 		func() policy.Policy {
 			tql := policy.NewTQL(c.Alpha)
+			tql.SetTelemetry(c.Telemetry)
 			tql.Pretrain(city, policy.NewCoordinator(), c.PretrainEpisodes, 1, c.Seed)
 			tql.Train(city, c.TrainEpisodes, 1, c.Seed)
 			return tql
@@ -150,6 +203,7 @@ func (c Config) BuildPolicies(city *synth.City) map[string]policy.Policy {
 		func() policy.Policy {
 			dqn := policy.NewDQN(c.Alpha, c.Seed)
 			dqn.Workers = c.Workers
+			dqn.SetTelemetry(c.Telemetry)
 			dqn.Pretrain(city, policy.NewCoordinator(), c.PretrainEpisodes, 1, c.Seed)
 			dqn.Train(city, (c.TrainEpisodes+1)/2, 1, c.Seed)
 			return dqn
@@ -157,6 +211,7 @@ func (c Config) BuildPolicies(city *synth.City) map[string]policy.Policy {
 		func() policy.Policy {
 			tba := policy.NewTBA(c.Seed)
 			tba.Workers = c.Workers
+			tba.SetTelemetry(c.Telemetry)
 			tba.Pretrain(city, policy.NewCoordinator(), c.PretrainEpisodes, 1, c.Seed)
 			tba.Train(city, (c.TrainEpisodes+1)/2, 1, c.Seed)
 			return tba
@@ -168,6 +223,7 @@ func (c Config) BuildPolicies(city *synth.City) map[string]policy.Policy {
 			if err != nil {
 				panic("report: " + err.Error())
 			}
+			fm.SetTelemetry(c.Telemetry)
 			fm.Pretrain(city, policy.NewCoordinator(), c.PretrainEpisodes, 1, c.Seed)
 			fm.Train(city, c.TrainEpisodes, 1, c.Seed)
 			return fm
@@ -188,29 +244,52 @@ func Run(cfg Config) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Scenario != nil {
+		if err := scenario.ValidateFor(cfg.Scenario, city); err != nil {
+			return nil, err
+		}
+	}
 	pols := cfg.BuildPolicies(city)
+	results, snaps := cfg.evaluateAll(city, pols)
 	b := &Bundle{
 		Config:      cfg,
 		City:        city,
-		Results:     cfg.evaluateAll(city, pols),
+		Results:     results,
+		Telemetry:   snaps,
 		Ablations:   make(map[string]*sim.Results),
 		policyCache: pols,
 	}
 	return b, nil
 }
 
+// evalCell pairs one evaluation's results with its telemetry snapshot so
+// parallel fan-outs keep the two aligned per method.
+type evalCell struct {
+	res  *sim.Results
+	snap telemetry.Snapshot
+}
+
 // evaluateAll evaluates every policy on its own worker and private
-// environment, reducing into the results map in MethodNames order.
-func (c Config) evaluateAll(city *synth.City, pols map[string]policy.Policy) map[string]*sim.Results {
-	res, _ := parallel.Map(context.Background(), c.Workers, len(MethodNames),
-		func(_ context.Context, i int) (*sim.Results, error) {
-			return c.evaluate(city, pols[MethodNames[i]]), nil
+// environment, reducing into the results map in MethodNames order. The
+// snapshot map is nil when telemetry is off.
+func (c Config) evaluateAll(city *synth.City, pols map[string]policy.Policy) (map[string]*sim.Results, map[string]telemetry.Snapshot) {
+	cells, _ := parallel.Map(context.Background(), c.Workers, len(MethodNames),
+		func(_ context.Context, i int) (evalCell, error) {
+			res, snap := c.evaluateTel(city, pols[MethodNames[i]])
+			return evalCell{res: res, snap: snap}, nil
 		})
-	out := make(map[string]*sim.Results, len(res))
-	for i, name := range MethodNames {
-		out[name] = res[i]
+	out := make(map[string]*sim.Results, len(cells))
+	var snaps map[string]telemetry.Snapshot
+	if c.Telemetry != nil {
+		snaps = make(map[string]telemetry.Snapshot, len(cells))
 	}
-	return out
+	for i, name := range MethodNames {
+		out[name] = cells[i].res
+		if snaps != nil {
+			snaps[name] = cells[i].snap
+		}
+	}
+	return out, snaps
 }
 
 // RunGTOnly executes just the ground-truth run (enough for Figs. 3-8).
@@ -219,11 +298,20 @@ func RunGTOnly(cfg Config) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Scenario != nil {
+		if err := scenario.ValidateFor(cfg.Scenario, city); err != nil {
+			return nil, err
+		}
+	}
+	res, snap := cfg.evaluateTel(city, policy.NewGroundTruth())
 	b := &Bundle{
 		Config:    cfg,
 		City:      city,
-		Results:   map[string]*sim.Results{"GT": cfg.evaluate(city, policy.NewGroundTruth())},
+		Results:   map[string]*sim.Results{"GT": res},
 		Ablations: make(map[string]*sim.Results),
+	}
+	if cfg.Telemetry != nil {
+		b.Telemetry = map[string]telemetry.Snapshot{"GT": snap}
 	}
 	return b, nil
 }
@@ -284,23 +372,35 @@ func (b *Bundle) RunScenarios(specs []*scenario.Spec) error {
 	// so the grid reduces identically for any worker count.
 	n := len(specs) * len(methods)
 	cells, err := parallel.Map(context.Background(), b.Config.Workers, n,
-		func(_ context.Context, i int) (*sim.Results, error) {
+		func(_ context.Context, i int) (evalCell, error) {
 			spec, method := specs[i/len(methods)], methods[i%len(methods)]
-			env := sim.New(b.City, b.Config.simOptions(), b.Config.Seed)
-			if _, err := scenario.Attach(env, spec); err != nil {
-				return nil, err
-			}
-			return policy.Evaluate(b.policyCache[method], env, b.Config.Seed+1000), nil
+			cfg := b.Config
+			cfg.Scenario = spec
+			res, snap := cfg.evaluateTel(b.City, b.policyCache[method])
+			return evalCell{res: res, snap: snap}, nil
 		})
 	if err != nil {
 		return err
 	}
+	if b.Config.Telemetry != nil && b.ScenarioTelemetry == nil {
+		b.ScenarioTelemetry = make(map[string]map[string]telemetry.Snapshot)
+	}
 	for si, spec := range specs {
 		row := make(map[string]*sim.Results, len(methods))
+		var snaps map[string]telemetry.Snapshot
+		if b.Config.Telemetry != nil {
+			snaps = make(map[string]telemetry.Snapshot, len(methods))
+		}
 		for mi, m := range methods {
-			row[m] = cells[si*len(methods)+mi]
+			row[m] = cells[si*len(methods)+mi].res
+			if snaps != nil {
+				snaps[m] = cells[si*len(methods)+mi].snap
+			}
 		}
 		b.Scenarios[spec.Name] = row
+		if snaps != nil {
+			b.ScenarioTelemetry[spec.Name] = snaps
+		}
 		b.ScenarioOrder = append(b.ScenarioOrder, spec.Name)
 	}
 	return nil
@@ -328,6 +428,84 @@ func (b *Bundle) FormatScenarioDeltas() string {
 		}
 	}
 	return sb.String()
+}
+
+// FormatTelemetry prints each method's clean-run simulation counters and,
+// for every scenario, the counter deltas against that method's clean
+// snapshot — the mechanism companion to FormatScenarioDeltas' score table
+// (a PE drop reads differently next to "abandonments +412, charge_sessions
+// -97" than next to nothing). Returns "" when telemetry was off.
+func (b *Bundle) FormatTelemetry() string {
+	if len(b.Telemetry) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("Telemetry (per-evaluation simulation counters)\n")
+	for _, m := range b.methodsPresent() {
+		snap, ok := b.Telemetry[m]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-10s %s\n", m, counterLine(snap))
+	}
+	for _, name := range b.ScenarioOrder {
+		row := b.ScenarioTelemetry[name]
+		if len(row) == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  scenario %s (Δ counters vs clean):\n", name)
+		for _, m := range b.methodsPresent() {
+			snap, ok := row[m]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&sb, "    %-10s %s\n", m, deltaLine(b.Telemetry[m], snap))
+		}
+	}
+	return sb.String()
+}
+
+// counterLine formats a snapshot's counters as sorted name=value pairs.
+func counterLine(s telemetry.Snapshot) string {
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, s.Counters[k]))
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, " ")
+}
+
+// deltaLine formats the nonzero counter differences of cur minus clean.
+func deltaLine(clean, cur telemetry.Snapshot) string {
+	seen := make(map[string]struct{}, len(clean.Counters)+len(cur.Counters))
+	for k := range clean.Counters {
+		seen[k] = struct{}{}
+	}
+	for k := range cur.Counters {
+		seen[k] = struct{}{}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var parts []string
+	for _, k := range keys {
+		if d := cur.Counters[k] - clean.Counters[k]; d != 0 {
+			parts = append(parts, fmt.Sprintf("%s%+d", k+"=", d))
+		}
+	}
+	if len(parts) == 0 {
+		return "(no change)"
+	}
+	return strings.Join(parts, " ")
 }
 
 // pctDelta returns the relative change from base to v in percent, or 0
@@ -384,17 +562,9 @@ func (b *Bundle) RunAblations() {
 
 // RunFull is Run plus the alpha sweep and ablations.
 func RunFull(cfg Config, alphas []float64) (*Bundle, error) {
-	city, err := synth.Build(cfg.cityConfig())
+	b, err := Run(cfg)
 	if err != nil {
 		return nil, err
-	}
-	pols := cfg.BuildPolicies(city)
-	b := &Bundle{
-		Config:      cfg,
-		City:        city,
-		Results:     cfg.evaluateAll(city, pols),
-		Ablations:   make(map[string]*sim.Results),
-		policyCache: pols,
 	}
 	if len(alphas) > 0 {
 		if err := b.RunAlphaSweep(alphas); err != nil {

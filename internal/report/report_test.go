@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 )
 
 // smallBundle runs the full pipeline once at test scale and is shared by
@@ -19,7 +20,10 @@ func bundle(t *testing.T) *Bundle {
 	if smallBundle != nil {
 		return smallBundle
 	}
-	b, err := RunFull(DefaultConfig(1, ScaleSmall), []float64{0, 0.6, 1})
+	// Telemetry on: the shared bundle doubles as coverage that metrics
+	// collection rides through the whole pipeline without changing it.
+	cfg := DefaultConfig(1, ScaleSmall).WithTelemetry(telemetry.NewRegistry())
+	b, err := RunFull(cfg, []float64{0, 0.6, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,6 +163,103 @@ func TestRunScenariosProducesGrid(t *testing.T) {
 	}
 	if strings.Contains(out, "%!") {
 		t.Fatalf("scenario report has formatting error:\n%s", out)
+	}
+}
+
+// blackoutSpec closes every station and silences demand for the whole
+// horizon — the zero-charge/zero-trip worst case that used to panic inside
+// stats.Percentile when the report asked for medians of empty series.
+func blackoutSpec(t *testing.T, stations, horizonMin int) *scenario.Spec {
+	t.Helper()
+	b := scenario.NewBuilder("total-blackout")
+	for s := 0; s < stations; s++ {
+		b.StationOutage(s, 0, horizonMin)
+	}
+	b.DemandScale(-1, 0, horizonMin, 0)
+	spec, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// The headline bugfix regression: a full GT report under total blackout must
+// complete — every figure formats, no median/percentile panics, no NaN/Inf
+// format escapes — and the telemetry snapshot must explain the silence.
+func TestGTOnlyBlackoutScenarioNoPanic(t *testing.T) {
+	cfg := DefaultConfig(4, ScaleSmall).WithTelemetry(telemetry.NewRegistry())
+	horizon := (cfg.Days + cfg.WarmupDays) * 24 * 60
+	cfg.Scenario = blackoutSpec(t, cfg.cityConfig().Stations, horizon)
+	b, err := RunGTOnly(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, f := range map[string]func() string{
+		"Fig3": b.Fig3, "Fig4": b.Fig4, "Fig5": b.Fig5,
+		"Fig6": b.Fig6, "Fig7": b.Fig7, "Fig8": b.Fig8,
+	} {
+		out := f()
+		if strings.Contains(out, "%!") || strings.Contains(out, "NaN") {
+			t.Errorf("%s formats badly under blackout: %q", name, out)
+		}
+	}
+	res := b.Results["GT"]
+	if res.ServedRequests != 0 || len(res.ChargeStats) != 0 {
+		t.Fatalf("blackout leaked activity: served=%d charges=%d",
+			res.ServedRequests, len(res.ChargeStats))
+	}
+	snap, ok := b.Telemetry["GT"]
+	if !ok {
+		t.Fatal("telemetry snapshot missing for GT")
+	}
+	if snap.Counters["sim.slots"] == 0 {
+		t.Fatal("telemetry recorded no simulated slots")
+	}
+	if snap.Counters["sim.matches"] != 0 || snap.Counters["sim.charge_sessions"] != 0 {
+		t.Fatalf("telemetry contradicts blackout: %v", snap.Counters)
+	}
+	if out := b.FormatTelemetry(); !strings.Contains(out, "GT") || !strings.Contains(out, "sim.slots") {
+		t.Fatalf("FormatTelemetry incomplete: %q", out)
+	}
+}
+
+// The same blackout through the comparison pipeline: every trained method
+// re-evaluated under zero charges and zero trips, with per-cell telemetry
+// explaining the deltas.
+func TestRunScenariosBlackoutNoPanic(t *testing.T) {
+	b := bundle(t)
+	horizon := (b.Config.Days + b.Config.WarmupDays) * 24 * 60
+	spec := blackoutSpec(t, b.Config.cityConfig().Stations, horizon)
+	if err := b.RunScenarios([]*scenario.Spec{spec}); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range MethodNames {
+		res, ok := b.Scenarios["total-blackout"][m]
+		if !ok {
+			t.Fatalf("method %s missing from blackout grid", m)
+		}
+		if res.ServedRequests != 0 {
+			t.Fatalf("method %s served %d requests under blackout", m, res.ServedRequests)
+		}
+	}
+	out := b.FormatScenarioDeltas()
+	if !strings.Contains(out, "total-blackout") {
+		t.Fatalf("deltas missing blackout row:\n%s", out)
+	}
+	if strings.Contains(out, "%!") || strings.Contains(out, "NaN") {
+		t.Fatalf("blackout deltas format badly:\n%s", out)
+	}
+	row, ok := b.ScenarioTelemetry["total-blackout"]
+	if !ok {
+		t.Fatal("scenario telemetry missing")
+	}
+	for _, m := range MethodNames {
+		if row[m].Counters["sim.matches"] != 0 {
+			t.Fatalf("method %s telemetry shows matches under blackout", m)
+		}
+	}
+	if tl := b.FormatTelemetry(); !strings.Contains(tl, "scenario total-blackout") {
+		t.Fatalf("FormatTelemetry missing scenario section:\n%s", tl)
 	}
 }
 

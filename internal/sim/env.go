@@ -219,6 +219,10 @@ type Env struct {
 	// predictor is the learned demand forecaster (when LearnedForecast).
 	predictor *forecast.Predictor
 
+	// tel holds pre-resolved telemetry handles (see telemetry.go). All
+	// fields nil when telemetry is off; writes then cost nothing.
+	tel simTel
+
 	invalidActions int
 	finalized      bool
 }
@@ -424,6 +428,7 @@ func (e *Env) Step(actions map[int]Action) {
 	for _, r := range e.pending {
 		if r.TimeMin+e.opts.PatienceMin < slotStart {
 			e.res.UnservedRequests++
+			e.tel.abandonments.Inc()
 			continue
 		}
 		alive = append(alive, r)
@@ -448,6 +453,7 @@ func (e *Env) Step(actions map[int]Action) {
 		}
 	}
 	e.nowMin = slotEnd
+	e.tel.slots.Inc()
 	warmupEnd := e.opts.WarmupDays * 24 * 60
 	if slotEnd > warmupEnd {
 		e.res.Slots++
@@ -538,6 +544,7 @@ func (e *Env) applyAction(id int, a Action) {
 		e.accrueCrawl(t, e.nowMin)
 		e.driveTracked(t, distKm)
 		e.record(trace.Event{TimeMin: e.nowMin, Taxi: t.id, Region: t.region, Kind: trace.EvMove, A: dest, B: -1})
+		e.tel.relocations.Inc()
 		t.state = Relocating
 		t.arriveMin = e.nowMin + travelMin
 		// The hop's energy is paid in full above; crawl resumes at arrival.
@@ -692,6 +699,7 @@ func (e *Env) serve(id int, req demand.Request) {
 	t.acct.RevenueCNY += req.Fare
 	t.acct.Trips++
 	t.slotProfit += req.Fare
+	e.tel.matches.Inc()
 	e.record(trace.Event{TimeMin: pickup, Taxi: id, Region: req.OriginRegion, Kind: trace.EvPickup, A: req.DestRegion, B: -1, V: req.Fare})
 
 	e.res.ServedRequests++
@@ -745,6 +753,7 @@ func (e *Env) advanceMinute(m int) {
 					e.beginCharge(t, m)
 				} else {
 					t.state = Queued
+					e.tel.queueJoins.Inc()
 					e.record(trace.Event{TimeMin: m, Taxi: t.id, Region: t.region, Kind: trace.EvQueue, A: t.stationID, B: -1})
 				}
 			}
@@ -783,6 +792,7 @@ func (e *Env) shouldBalk(t *taxi) bool {
 // all-stations-closed fallback — lives in replanCharge.
 func (e *Env) balk(t *taxi, m int) {
 	t.balkCount++
+	e.tel.balks.Inc()
 	e.replanCharge(t, m, trace.EvBalk)
 }
 
@@ -806,6 +816,7 @@ func (e *Env) beginCharge(t *taxi, m int) {
 	t.chargeCost = 0
 	idle := float64(m - t.departMin)
 	t.acct.IdleMin += idle
+	e.tel.idleMin.Observe(idle)
 	e.res.ChargeStartsByHour[e.hourAt(m)]++
 	e.record(trace.Event{TimeMin: m, Taxi: t.id, Region: t.region, Kind: trace.EvPlug, A: t.stationID, B: -1})
 }
@@ -835,6 +846,8 @@ func (e *Env) finishCharge(t *taxi, m int) {
 	t.acct.ChargeCostCNY += t.chargeCost
 	t.acct.EnergyKWh += t.chargeEnergy
 	t.acct.ChargeEvents++
+	e.tel.chargeSessions.Inc()
+	e.tel.chargeMin.Observe(float64(m - t.plugMin))
 	e.res.ChargeStats = append(e.res.ChargeStats, trace.ChargingEvent{
 		VehicleID: t.id,
 		StationID: t.stationID,

@@ -107,6 +107,7 @@ func (e *Env) applyStationPerturbations(m int) {
 		closed := e.hooks.StationClosed(sid, m)
 		if closed != e.closedNow[sid] {
 			e.closedNow[sid] = closed
+			e.tel.outageEdges.Inc()
 			flag := 0
 			if closed {
 				flag = 1
@@ -117,6 +118,7 @@ func (e *Env) applyStationPerturbations(m int) {
 			})
 		}
 		if d := clampInt(e.hooks.StationDerate(sid, m), 0, st.Station().Points); d != st.Derate() {
+			e.tel.derateChanges.Inc()
 			promoted := st.SetDerate(d)
 			e.record(trace.Event{
 				TimeMin: m, Taxi: -1, Region: st.Station().Region,
@@ -129,6 +131,7 @@ func (e *Env) applyStationPerturbations(m int) {
 		if closed {
 			// Waiting taxis re-plan rather than queue at a dead station.
 			for _, id := range st.DrainQueue() {
+				e.tel.queueEvictions.Inc()
 				t := &e.taxis[id]
 				t.state = ToStation
 				t.arriveMin = m
@@ -171,6 +174,7 @@ func (e *Env) replanCharge(t *taxi, m int, kind trace.EventKind) {
 				e.beginCharge(t, m)
 			} else {
 				t.state = Queued
+				e.tel.queueJoins.Inc()
 				e.record(trace.Event{TimeMin: m, Taxi: t.id, Region: t.region, Kind: trace.EvQueue, A: t.stationID, B: -1})
 			}
 			return

@@ -100,6 +100,7 @@ func (e *Env) Observe(id int) Observation {
 			e.staleFeats = make([][]float64, len(e.taxis))
 		}
 		if e.hooks.ObsStale(t.region, now) {
+			e.tel.staleObs.Inc()
 			if cached := e.staleFeats[id]; cached != nil {
 				f = append(f[:0], cached...)
 			}

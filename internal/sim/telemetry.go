@@ -1,0 +1,52 @@
+package sim
+
+import "repro/internal/telemetry"
+
+// simTel holds the environment's pre-resolved telemetry handles. Handles are
+// looked up once in SetTelemetry so the per-event cost on the hot path is a
+// single atomic add (or nothing at all: nil handles no-op). Every counter
+// here is a pure function of the simulation trajectory — no wall-clock, no
+// RNG draws — so counts are byte-identical across worker counts and safe to
+// compare in determinism tests.
+type simTel struct {
+	matches        *telemetry.Counter // requests matched to a taxi
+	abandonments   *telemetry.Counter // requests whose patience ran out
+	balks          *telemetry.Counter // hopeless-queue redirects
+	queueEvictions *telemetry.Counter // queued taxis drained from a closed station
+	relocations    *telemetry.Counter // Move actions executed
+	chargeSessions *telemetry.Counter // completed charging sessions
+	queueJoins     *telemetry.Counter // taxis entering a station queue
+	outageEdges    *telemetry.Counter // station closure state transitions
+	derateChanges  *telemetry.Counter // station derate level changes
+	staleObs       *telemetry.Counter // observations served from the GPS-dropout cache
+	slots          *telemetry.Counter // simulated slots stepped
+	idleMin        *telemetry.Histogram
+	chargeMin      *telemetry.Histogram
+}
+
+// SetTelemetry installs (or, with nil, removes) a metrics registry. Like
+// hooks and the recorder it persists across Reset, so one registry observes
+// every episode run on this environment. Telemetry is strictly write-only
+// from the simulation's perspective: nothing in the environment reads a
+// counter back, so enabling it cannot perturb the trajectory or RNG streams.
+func (e *Env) SetTelemetry(r *telemetry.Registry) {
+	if r == nil {
+		e.tel = simTel{}
+		return
+	}
+	e.tel = simTel{
+		matches:        r.Counter("sim.matches"),
+		abandonments:   r.Counter("sim.abandonments"),
+		balks:          r.Counter("sim.balks"),
+		queueEvictions: r.Counter("sim.queue_evictions"),
+		relocations:    r.Counter("sim.relocations"),
+		chargeSessions: r.Counter("sim.charge_sessions"),
+		queueJoins:     r.Counter("sim.queue_joins"),
+		outageEdges:    r.Counter("sim.hook.outage_edges"),
+		derateChanges:  r.Counter("sim.hook.derate_changes"),
+		staleObs:       r.Counter("sim.hook.stale_obs"),
+		slots:          r.Counter("sim.slots"),
+		idleMin:        r.Histogram("sim.idle_min", 0, 240, 16),
+		chargeMin:      r.Histogram("sim.charge_min", 0, 240, 16),
+	}
+}

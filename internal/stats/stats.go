@@ -21,9 +21,9 @@ func Mean(xs []float64) float64 {
 	return sum / float64(len(xs))
 }
 
-// Variance returns the population variance of xs (0 for fewer than one
-// element). This matches the paper's profit-fairness definition (Eq. 3),
-// which divides by N.
+// Variance returns the population variance of xs (0 for empty input; a
+// single element has population variance 0). This matches the paper's
+// profit-fairness definition (Eq. 3), which divides by N.
 func Variance(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -41,14 +41,17 @@ func Variance(xs []float64) float64 {
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Percentile returns the p-th percentile (p in [0, 100]) of xs by linear
-// interpolation between order statistics. It panics on empty input.
-func Percentile(xs []float64, p float64) float64 {
+// interpolation between order statistics. The boolean reports whether xs had
+// any data: empty input returns (0, false) instead of panicking, so fault
+// scenarios that drain a distribution (a total station outage, a demand
+// drought) degrade to "no data" rather than crash the report path.
+func Percentile(xs []float64, p float64) (float64, bool) {
 	if len(xs) == 0 {
-		panic("stats: Percentile of empty slice")
+		return 0, false
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
-	return percentileSorted(sorted, p)
+	return percentileSorted(sorted, p), true
 }
 
 func percentileSorted(sorted []float64, p float64) float64 {
@@ -68,8 +71,9 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// Median returns the 50th percentile.
-func Median(xs []float64) float64 { return Percentile(xs, 50) }
+// Median returns the 50th percentile, with the same (value, ok) contract as
+// Percentile: (0, false) for empty input.
+func Median(xs []float64) (float64, bool) { return Percentile(xs, 50) }
 
 // Gini returns the Gini coefficient of xs, an alternative inequality measure
 // reported alongside PF in EXPERIMENTS.md. Values must be non-negative;
@@ -122,12 +126,13 @@ func (c *CDF) At(x float64) float64 {
 	return float64(idx) / float64(len(c.sorted))
 }
 
-// Quantile returns the q-th quantile (q in [0, 1]).
-func (c *CDF) Quantile(q float64) float64 {
+// Quantile returns the q-th quantile (q in [0, 1]); (0, false) for an empty
+// CDF, mirroring Percentile's total contract.
+func (c *CDF) Quantile(q float64) (float64, bool) {
 	if len(c.sorted) == 0 {
-		panic("stats: Quantile of empty CDF")
+		return 0, false
 	}
-	return percentileSorted(c.sorted, q*100)
+	return percentileSorted(c.sorted, q*100), true
 }
 
 // Histogram is a fixed-width bin histogram over [Min, Max). Values outside
