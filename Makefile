@@ -9,12 +9,12 @@ GO ?= go
 # Statement-coverage floor for the scenario engine and the trace codec —
 # the packages whose tests ARE the regression harness (golden digests,
 # fuzz corpora): uncovered code there is unpinned behavior.
-COVER_PKGS = ./internal/scenario/ ./internal/trace/
+COVER_PKGS = ./internal/scenario/ ./internal/trace/ ./internal/checkpoint/
 COVER_FLOOR = 70
 
-.PHONY: ci vet build test race cover smoke fuzz bench
+.PHONY: ci vet build test race cover smoke resume-smoke fuzz bench
 
-ci: vet build test race cover smoke
+ci: vet build test race cover smoke resume-smoke
 
 vet:
 	$(GO) vet ./...
@@ -49,12 +49,32 @@ smoke:
 	$(GO) run ./cmd/benchtab -scale small -gt-only -telemetry \
 		-scenario testdata/scenarios/total-blackout.json > /dev/null
 
+# Crash-resume smoke: train with checkpoints, "crash" at the episode-1
+# cadence cutoff, resume toward the full total with the identical command,
+# and diff the saved policy against an unbroken run's byte for byte. Then
+# prove the artifact actually loads: eval -load-policy must run clean.
+resume-smoke:
+	@rm -rf /tmp/fairmove-resume-smoke && mkdir -p /tmp/fairmove-resume-smoke
+	$(GO) run ./cmd/fairmove train -fleet 24 -pretrain 1 -episodes 1 \
+		-checkpoint-dir /tmp/fairmove-resume-smoke/ckpt -checkpoint-every 1 > /dev/null
+	$(GO) run ./cmd/fairmove train -fleet 24 -pretrain 1 -episodes 2 -resume \
+		-checkpoint-dir /tmp/fairmove-resume-smoke/ckpt -checkpoint-every 1 \
+		-save-policy /tmp/fairmove-resume-smoke/resumed.fmck > /dev/null
+	$(GO) run ./cmd/fairmove train -fleet 24 -pretrain 1 -episodes 2 \
+		-save-policy /tmp/fairmove-resume-smoke/unbroken.fmck > /dev/null
+	cmp /tmp/fairmove-resume-smoke/resumed.fmck /tmp/fairmove-resume-smoke/unbroken.fmck
+	$(GO) run ./cmd/fairmove eval -fleet 24 \
+		-load-policy /tmp/fairmove-resume-smoke/resumed.fmck > /dev/null
+	@rm -rf /tmp/fairmove-resume-smoke
+	@echo "resume-smoke: resumed run byte-identical to unbroken run"
+
 # Explore the fuzz targets beyond the committed corpora (not part of ci;
 # run locally when touching the parser or codec).
 fuzz:
 	$(GO) test ./internal/scenario/ -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzDecodeEvents -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzEventRoundTrip -fuzztime 30s
+	$(GO) test ./internal/checkpoint/ -fuzz FuzzDecode -fuzztime 30s
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	benchtab [-scale small|default|full] [-seed N] [-workers N] [-alpha-sweep]
-//	         [-gt-only] [-scenario SPEC.json] [-telemetry] [-pprof ADDR]
+//	         [-gt-only] [-policy FILE] [-scenario SPEC.json] [-telemetry]
+//	         [-pprof ADDR]
 //
 // The default scale matches EXPERIMENTS.md (300 taxis, 75 regions); -scale
 // full runs the paper's 20,130-taxi fleet and takes hours.
@@ -45,6 +46,8 @@ func run() error {
 	gtOnly := flag.Bool("gt-only", false, "only run ground truth and print the data-driven findings (Figs. 3-8)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"worker goroutines for training and evaluation; any value produces identical output")
+	policyPath := flag.String("policy", "",
+		"warm-start FairMove from a saved checkpoint instead of training it (see fairmove train -save-policy)")
 	scenarioPath := flag.String("scenario", "",
 		"JSON scenario spec: conditions the gt-only run, or adds a scenario-delta table to the full report")
 	telemetryOn := flag.Bool("telemetry", false,
@@ -65,6 +68,7 @@ func run() error {
 	}
 	cfg := report.DefaultConfig(*seed, sc)
 	cfg.Workers = *workers
+	cfg.PolicyPath = *policyPath
 
 	if *pprofAddr != "" {
 		go func() {

@@ -2,14 +2,21 @@
 //
 // Subcommands:
 //
-//	fairmove train   [-seed N] [-fleet N] [-alpha A] [-episodes N] [-model FILE]
-//	fairmove eval    [-seed N] [-fleet N] [-method M] [-model FILE] [-scenario SPEC.json]
-//	fairmove compare [-seed N] [-fleet N] [-alpha A] [-scenario SPEC.json]
+//	fairmove train   [-seed N] [-fleet N] [-alpha A] [-episodes N] [-pretrain N]
+//	                 [-checkpoint-dir DIR] [-checkpoint-every N] [-resume]
+//	                 [-save-policy FILE] [-model FILE]
+//	fairmove eval    [-seed N] [-fleet N] [-method M] [-load-policy FILE] [-scenario SPEC.json]
+//	fairmove compare [-seed N] [-fleet N] [-alpha A] [-load-policy FILE] [-scenario SPEC.json]
 //
 // `train` trains CMA2C and optionally saves the networks; `eval` evaluates
-// one strategy (loading a saved model for FairMove if given); `compare`
+// one strategy (loading a saved policy for FairMove if given); `compare`
 // runs all six strategies on identical demand and prints the paper's
 // headline metrics.
+//
+// -checkpoint-dir enables crash-safe checkpoints at episode boundaries;
+// a killed run resumes byte-identically by re-running the same command with
+// -resume added. -save-policy / -load-policy round-trip a finished policy
+// through the same versioned, digest-protected format.
 //
 // -scenario conditions evaluation on a perturbation spec (station outages,
 // demand surges, GPS dropouts, …; see internal/scenario): every method then
@@ -102,12 +109,15 @@ func observe(telemetryOn bool, pprofAddr string) (*telemetry.Registry, func()) {
 	}
 }
 
-func newSystem(seed int64, fleet int, alpha float64, episodes int) (*fairmove.System, error) {
+func newSystem(seed int64, fleet int, alpha float64, episodes, pretrain int) (*fairmove.System, error) {
 	cfg := fairmove.DefaultConfig(seed)
 	cfg.Fleet = fleet
 	cfg.Alpha = alpha
 	if episodes > 0 {
 		cfg.TrainEpisodes = episodes
+	}
+	if pretrain > 0 {
+		cfg.PretrainEpisodes = pretrain
 	}
 	return fairmove.NewSystem(cfg)
 }
@@ -131,23 +141,46 @@ func applyScenario(s *fairmove.System, path string) error {
 func cmdTrain(args []string) error {
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	seed, fleet, alpha := commonFlags(fs)
-	episodes := fs.Int("episodes", 6, "fine-tuning episodes")
-	model := fs.String("model", "", "path to save the trained networks")
+	episodes := fs.Int("episodes", 6, "total fine-tuning episodes (a resumed run continues toward the same total)")
+	pretrain := fs.Int("pretrain", 0, "demonstration (warm-start) episodes; 0 = default")
+	model := fs.String("model", "", "path to save the trained networks (legacy gob format)")
+	ckptDir := fs.String("checkpoint-dir", "", "directory for crash-safe training checkpoints")
+	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint cadence in episodes; 0 = only at phase ends")
+	ckptKeep := fs.Int("checkpoint-keep", 0, "checkpoints to retain in -checkpoint-dir (0 = default 3)")
+	resume := fs.Bool("resume", false, "resume from the newest checkpoint in -checkpoint-dir")
+	savePolicy := fs.String("save-policy", "", "write the trained policy as a checkpoint file for later -load-policy")
 	telemetryOn, pprofAddr := observeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint-dir")
+	}
 	reg, finish := observe(*telemetryOn, *pprofAddr)
 	defer finish()
-	s, err := newSystem(*seed, *fleet, *alpha, *episodes)
+	s, err := newSystem(*seed, *fleet, *alpha, *episodes, *pretrain)
 	if err != nil {
 		return err
 	}
 	s.SetTelemetry(reg)
-	rep := s.Train()
+	rep, err := s.TrainWithOptions(fairmove.TrainOptions{
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		CheckpointKeep:  *ckptKeep,
+		Resume:          *resume,
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Printf("trained %d episodes, %d transitions\n", rep.Episodes, rep.Transitions)
 	for i, r := range rep.MeanReward {
 		fmt.Printf("  episode %d: mean reward %.3f critic loss %.5f\n", i+1, r, rep.CriticLoss[i])
+	}
+	if *savePolicy != "" {
+		if err := s.SavePolicy(*savePolicy); err != nil {
+			return err
+		}
+		fmt.Printf("policy saved to %s\n", *savePolicy)
 	}
 	if *model != "" {
 		f, err := os.Create(*model)
@@ -167,7 +200,8 @@ func cmdEval(args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	seed, fleet, alpha := commonFlags(fs)
 	method := fs.String("method", "FairMove", "strategy: GT, SD2, TQL, DQN, TBA, or FairMove")
-	model := fs.String("model", "", "saved FairMove model to load instead of training")
+	model := fs.String("model", "", "saved FairMove model to load instead of training (legacy gob format)")
+	loadPolicy := fs.String("load-policy", "", "FairMove checkpoint file to load instead of training")
 	scenarioPath := fs.String("scenario", "", "JSON scenario spec to condition evaluation on")
 	telemetryOn, pprofAddr := observeFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -175,13 +209,18 @@ func cmdEval(args []string) error {
 	}
 	reg, finish := observe(*telemetryOn, *pprofAddr)
 	defer finish()
-	s, err := newSystem(*seed, *fleet, *alpha, 0)
+	s, err := newSystem(*seed, *fleet, *alpha, 0, 0)
 	if err != nil {
 		return err
 	}
 	s.SetTelemetry(reg)
 	if err := applyScenario(s, *scenarioPath); err != nil {
 		return err
+	}
+	if *loadPolicy != "" {
+		if err := s.LoadPolicy(*loadPolicy); err != nil {
+			return err
+		}
 	}
 	if *model != "" {
 		f, err := os.Open(*model)
@@ -210,19 +249,25 @@ func cmdCompare(args []string) error {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	seed, fleet, alpha := commonFlags(fs)
 	scenarioPath := fs.String("scenario", "", "JSON scenario spec to condition evaluation on")
+	loadPolicy := fs.String("load-policy", "", "FairMove checkpoint file to load instead of training")
 	telemetryOn, pprofAddr := observeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reg, finish := observe(*telemetryOn, *pprofAddr)
 	defer finish()
-	s, err := newSystem(*seed, *fleet, *alpha, 0)
+	s, err := newSystem(*seed, *fleet, *alpha, 0, 0)
 	if err != nil {
 		return err
 	}
 	s.SetTelemetry(reg)
 	if err := applyScenario(s, *scenarioPath); err != nil {
 		return err
+	}
+	if *loadPolicy != "" {
+		if err := s.LoadPolicy(*loadPolicy); err != nil {
+			return err
+		}
 	}
 	cmps, err := s.CompareAll()
 	if err != nil {

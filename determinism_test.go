@@ -1,10 +1,18 @@
 package fairmove
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/checkpoint"
+	"repro/internal/metrics"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/synth"
 	"repro/internal/telemetry"
 )
 
@@ -154,6 +162,153 @@ func deterministicCounters(s telemetry.Snapshot) map[string]int64 {
 		}
 	}
 	return out
+}
+
+// TestCheckpointResumeDeterminism is the checkpoint subsystem's executable
+// spec at the system level: a CMA2C training run killed after fine-tune
+// episode 1 and resumed from its checkpoint (by re-running the identical
+// command with -resume) finishes with a byte-identical policy file, an
+// identical evaluation report, and training telemetry that sums exactly to
+// the unbroken run's.
+func TestCheckpointResumeDeterminism(t *testing.T) {
+	const seed = 11
+	cfg := microConfig(seed, 0)
+	cfg.TrainEpisodes = 2
+	policyBytes := func(s *System) []byte {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "policy.fmck")
+		if err := s.SavePolicy(path); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	// Unbroken run, cadence on.
+	unbroken, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regU := telemetry.NewRegistry()
+	unbroken.SetTelemetry(regU)
+	if _, err := unbroken.TrainWithOptions(TrainOptions{CheckpointDir: t.TempDir(), CheckpointEvery: 1, CheckpointKeep: 10}); err != nil {
+		t.Fatal(err)
+	}
+	countersU := deterministicCounters(regU.Snapshot())
+	wantPolicy := policyBytes(unbroken)
+	wantEval, err := unbroken.Evaluate(FairMove)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crashed run: same command, killed after the first fine-tune episode —
+	// modeled as a run whose episode total IS the crash point, which leaves
+	// the same episode-1 checkpoint behind (CMA2C has no total-dependent
+	// schedule, and the file is cut at the episode boundary either way).
+	dir := t.TempDir()
+	crashCfg := cfg
+	crashCfg.TrainEpisodes = 1
+	crashed, err := NewSystem(crashCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regC := telemetry.NewRegistry()
+	crashed.SetTelemetry(regC)
+	if _, err := crashed.TrainWithOptions(TrainOptions{CheckpointDir: dir, CheckpointEvery: 1, CheckpointKeep: 10}); err != nil {
+		t.Fatal(err)
+	}
+	countersC := deterministicCounters(regC.Snapshot())
+
+	// Resumed run: fresh process (fresh System), identical command, -resume.
+	resumed, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regR := telemetry.NewRegistry()
+	resumed.SetTelemetry(regR)
+	if _, err := resumed.TrainWithOptions(TrainOptions{CheckpointDir: dir, CheckpointEvery: 1, CheckpointKeep: 10, Resume: true}); err != nil {
+		t.Fatal(err)
+	}
+	countersR := deterministicCounters(regR.Snapshot())
+
+	// Byte-identical weights.
+	if !bytes.Equal(policyBytes(resumed), wantPolicy) {
+		t.Fatal("resumed policy file is not byte-identical to the unbroken run's")
+	}
+	// Identical evaluation (PE, PF, and every other report field).
+	gotEval, err := resumed.Evaluate(FairMove)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotEval, wantEval) {
+		t.Fatalf("resumed evaluation diverged:\n%+v\n%+v", gotEval, wantEval)
+	}
+	// Telemetry: the resumed run does exactly the remaining work — its
+	// deterministic training counters plus the crashed prefix's equal the
+	// unbroken run's, key for key.
+	sum := make(map[string]int64, len(countersC))
+	for k, v := range countersC {
+		sum[k] += v
+	}
+	for k, v := range countersR {
+		sum[k] += v
+	}
+	if !reflect.DeepEqual(sum, countersU) {
+		t.Fatalf("telemetry counters do not sum to the unbroken run's:\ncrash+resume: %v\nunbroken:     %v", sum, countersU)
+	}
+}
+
+// TestBaselineCheckpointResumeDeterminism pins the same contract for a
+// baseline learner with a total-dependent schedule: DQN's ε decay depends on
+// the episode total, so the resumed run must re-run the identical command and
+// re-derive the schedule position from the restored episode cursor.
+func TestBaselineCheckpointResumeDeterminism(t *testing.T) {
+	const seed, total = 17, 2
+	city, err := synth.Build(synth.MicroConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalPEPF := func(d *policy.DQN) (float64, float64, int) {
+		env := sim.New(city, sim.DefaultOptions(1), seed)
+		res := policy.Evaluate(d, env, seed+1000)
+		return metrics.FleetPE(res), metrics.ProfitFairness(res), res.ServedRequests
+	}
+	dir := t.TempDir()
+
+	unbroken := policy.NewDQN(0.6, seed)
+	unbroken.Pretrain(city, policy.NewGroundTruth(), 1, 1, seed)
+	if _, err := unbroken.TrainCheckpointed(city, total, 1, seed, checkpoint.TrainOptions{Dir: dir, Every: 1, Keep: 10}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := checkpoint.Marshal(unbroken)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := policy.NewDQN(0.6, seed)
+	mid := filepath.Join(dir, checkpoint.FileName(checkpoint.PhaseTrain, 1))
+	if _, err := checkpoint.ReadFile(mid, resumed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.TrainCheckpointed(city, total, 1, seed, checkpoint.TrainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := checkpoint.Marshal(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed DQN is not byte-identical to the unbroken run")
+	}
+	pe1, pf1, served1 := evalPEPF(unbroken)
+	pe2, pf2, served2 := evalPEPF(resumed)
+	if pe1 != pe2 || pf1 != pf2 || served1 != served2 {
+		t.Fatalf("resumed DQN evaluates differently: PE %v/%v PF %v/%v served %d/%d",
+			pe1, pe2, pf1, pf2, served1, served2)
+	}
 }
 
 // AlphaSweep must likewise be invariant to the worker count.

@@ -16,11 +16,13 @@ package fairmove
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
@@ -265,8 +267,53 @@ type TrainReport struct {
 // then runs CMA2C reward-driven training for the configured number of
 // episodes (Algorithm 1).
 func (s *System) Train() TrainReport {
-	s.fm.Pretrain(s.city, policy.NewCoordinator(), s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
-	st := s.fm.Train(s.city, s.cfg.TrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
+	r, _ := s.TrainWithOptions(TrainOptions{}) // no checkpoint dir, no I/O errors
+	return r
+}
+
+// TrainOptions controls checkpointing and resumption of training.
+type TrainOptions struct {
+	// CheckpointDir, when non-empty, receives crash-safe checkpoints during
+	// training; a final checkpoint is always written when training ends.
+	CheckpointDir string
+	// CheckpointEvery is the cadence in episodes; <= 0 writes only the final
+	// checkpoint of each phase.
+	CheckpointEvery int
+	// CheckpointKeep bounds how many checkpoints the directory retains
+	// (default 3).
+	CheckpointKeep int
+	// Resume loads the newest valid checkpoint from CheckpointDir before
+	// training and continues toward the configured episode totals. With no
+	// checkpoint present training starts fresh, so a crashed run is resumed
+	// by re-running the identical command. The completed run is
+	// byte-identical to one that never crashed (pinned in
+	// determinism_test.go).
+	Resume bool
+}
+
+// TrainWithOptions is Train with checkpoint/resume control.
+func (s *System) TrainWithOptions(opts TrainOptions) (TrainReport, error) {
+	if opts.Resume && opts.CheckpointDir != "" {
+		path, _, err := checkpoint.Latest(opts.CheckpointDir)
+		switch {
+		case err == nil:
+			if _, err := checkpoint.ReadFile(path, s.fm); err != nil {
+				return TrainReport{}, fmt.Errorf("fairmove: resume: %w", err)
+			}
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Nothing saved yet: fresh start.
+		default:
+			return TrainReport{}, fmt.Errorf("fairmove: resume: %w", err)
+		}
+	}
+	copts := checkpoint.TrainOptions{Dir: opts.CheckpointDir, Every: opts.CheckpointEvery, Keep: opts.CheckpointKeep}
+	if err := s.fm.PretrainCheckpointed(s.city, policy.NewCoordinator(), s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed, copts); err != nil {
+		return TrainReport{}, fmt.Errorf("fairmove: %w", err)
+	}
+	st, err := s.fm.TrainCheckpointed(s.city, s.cfg.TrainEpisodes, s.cfg.TrainDays, s.cfg.Seed, copts)
+	if err != nil {
+		return TrainReport{}, fmt.Errorf("fairmove: %w", err)
+	}
 	s.mu.Lock()
 	s.trained[FairMove] = s.fm
 	s.mu.Unlock()
@@ -275,7 +322,31 @@ func (s *System) Train() TrainReport {
 		MeanReward:  st.MeanReward,
 		CriticLoss:  st.CriticLoss,
 		Transitions: st.Transitions,
+	}, nil
+}
+
+// SavePolicy writes the FairMove policy (trained or not) to path as a
+// single checkpoint file — a first-class artifact that later eval or compare
+// runs reload instead of retraining.
+func (s *System) SavePolicy(path string) error {
+	if err := checkpoint.WriteFile(path, s.fm); err != nil {
+		return fmt.Errorf("fairmove: %w", err)
 	}
+	return nil
+}
+
+// LoadPolicy restores a FairMove policy saved by SavePolicy (or any training
+// checkpoint written under the same configuration) and marks it trained, so
+// Evaluate and CompareAll reuse it without retraining. Corrupt or mismatched
+// files fail closed: the in-memory policy is left untouched.
+func (s *System) LoadPolicy(path string) error {
+	if _, err := checkpoint.ReadFile(path, s.fm); err != nil {
+		return fmt.Errorf("fairmove: %w", err)
+	}
+	s.mu.Lock()
+	s.trained[FairMove] = s.fm
+	s.mu.Unlock()
+	return nil
 }
 
 // policyFor returns (training if needed) the policy for a method. Training

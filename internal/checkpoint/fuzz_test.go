@@ -1,0 +1,57 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes through the full container path. The
+// invariants under fuzzing are exactly the production contract: no panic, no
+// unbounded allocation, and a learner that is bit-for-bit untouched whenever
+// Unmarshal reports an error.
+func FuzzDecode(f *testing.F) {
+	// Seed with a valid container and structured near-misses so the fuzzer
+	// starts at the interesting boundaries instead of random noise.
+	valid, err := Marshal(newStub())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1])
+	f.Add([]byte(Magic))
+	f.Add(Seal(Meta{Version: Version, Kind: "stub", Fingerprint: Fingerprint("stub|v=1")}, []byte{1, 2, 3}))
+	f.Add(Seal(Meta{Version: Version + 1, Kind: "stub"}, nil))
+	f.Add([]byte{})
+	// The golden fixtures are real learner checkpoints: well-formed
+	// containers whose kind the stub rejects, putting the fuzzer right on
+	// the header-validation boundary.
+	fixtures, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "checkpoints", "*.fmck"))
+	for _, path := range fixtures {
+		if data, err := os.ReadFile(path); err == nil {
+			f.Add(data)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		learner := newStub()
+		before := learner.snapshot()
+		meta, err := Unmarshal(data, learner)
+		if err != nil {
+			after := learner.snapshot()
+			if !reflect.DeepEqual(before, after) {
+				t.Fatalf("failed Unmarshal mutated learner: %+v -> %+v", before, after)
+			}
+			return
+		}
+		// A successful decode must describe a well-formed container...
+		if meta.Version != Version || meta.Kind != learner.kind {
+			t.Fatalf("accepted container with meta %+v", meta)
+		}
+		// ...and the accepted state must re-serialize cleanly.
+		if _, err := Marshal(learner); err != nil {
+			t.Fatalf("restored learner failed to marshal: %v", err)
+		}
+	})
+}

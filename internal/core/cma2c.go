@@ -13,6 +13,7 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/checkpoint"
 	"repro/internal/nn"
 	"repro/internal/policy"
 	"repro/internal/rng"
@@ -89,6 +90,16 @@ type FairMove struct {
 	// behavior-cloning batches from it between policy-gradient updates to
 	// anchor the actor against collapse (in the spirit of DQfD).
 	demo []policy.Transition
+
+	// resume cursors: completed pretraining and fine-tuning episodes.
+	// Checkpoints are cut at episode boundaries, where every per-episode
+	// stream re-derives from (seed, episode), so these counters plus the
+	// networks, optimizers, and demo buffer fully determine the rest of a
+	// run. fineTuning records that Train already swapped in the gentler
+	// actor optimizer, so a resumed run keeps its saved optimizer state.
+	demoDone   int
+	epDone     int
+	fineTuning bool
 
 	tel coreTel
 }
@@ -187,23 +198,36 @@ type TrainStats struct {
 	PolicyEnt   float64 // final mean policy entropy over a sample
 }
 
-// Train runs Algorithm 1 for the given number of episodes, each simulating
-// `days` of fleet operation on city. The same seed always reproduces the
-// same training trajectory.
+// Train runs Algorithm 1 until `episodes` total fine-tuning episodes are
+// complete, each simulating `days` of fleet operation on city. The same seed
+// always reproduces the same training trajectory; a system restored from a
+// mid-run checkpoint picks up at its next episode and finishes with
+// byte-identical weights.
 func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) TrainStats {
+	stats, _ := f.TrainCheckpointed(city, episodes, days, seed, checkpoint.TrainOptions{})
+	return stats
+}
+
+// TrainCheckpointed is Train with a checkpoint cadence: after every
+// opts.Every-th completed episode (and at the end of the run) the full
+// learner state is written crash-safely into opts.Dir.
+func (f *FairMove) TrainCheckpointed(city *synth.City, episodes, days int, seed int64, opts checkpoint.TrainOptions) (TrainStats, error) {
 	stats := TrainStats{Episodes: episodes}
 	env := sim.New(city, sim.DefaultOptions(days), seed)
 
 	// When a warm start is present, fine-tuning polishes rather than
 	// re-learns: the actor steps an order of magnitude smaller so the noisy
 	// semi-MDP advantages adjust the demonstrated policy instead of
-	// overwriting it.
-	if len(f.demo) > 0 {
+	// overwriting it. The fineTuning flag survives checkpoints, so a resumed
+	// run keeps polishing with its saved optimizer state instead of
+	// resetting the moments a second time.
+	if len(f.demo) > 0 && !f.fineTuning {
 		f.actorOpt = nn.NewAdam(f.cfg.ActorLR * 0.1)
 	}
+	f.fineTuning = true
 	f.tel.phase.Set(1)
 
-	for ep := 0; ep < episodes; ep++ {
+	for ep := f.epDone; ep < episodes; ep++ {
 		epSeed := seed + int64(ep)
 		env.Reset(epSeed)
 		f.BeginEpisode(epSeed)
@@ -227,6 +251,13 @@ func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) Train
 			stopEp()
 			stats.CriticLoss = append(stats.CriticLoss, 0)
 			stats.MeanAdvAbs = append(stats.MeanAdvAbs, 0)
+			f.epDone = ep + 1
+			if opts.ShouldSave(f.epDone, episodes) {
+				if _, err := checkpoint.SaveDir(opts.Dir, f, opts.Keep); err != nil {
+					f.exploring = false
+					return stats, err
+				}
+			}
 			continue
 		}
 
@@ -265,9 +296,17 @@ func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) Train
 
 		// Target network hard update per episode (Eq. 7's θv').
 		f.targetCritic.CopyWeightsFrom(f.critic)
+
+		f.epDone = ep + 1
+		if opts.ShouldSave(f.epDone, episodes) {
+			if _, err := checkpoint.SaveDir(opts.Dir, f, opts.Keep); err != nil {
+				f.exploring = false
+				return stats, err
+			}
+		}
 	}
 	f.exploring = false
-	return stats
+	return stats, nil
 }
 
 // Pretrain warm-starts the system from demonstration episodes driven by
@@ -284,33 +323,49 @@ func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) Train
 // gradient steps below consume them serially in episode order, which keeps
 // the result byte-identical to a serial run.
 func (f *FairMove) Pretrain(city *synth.City, guide policy.Policy, episodes, days int, seed int64) {
+	_ = f.PretrainCheckpointed(city, guide, episodes, days, seed, checkpoint.TrainOptions{})
+}
+
+// PretrainCheckpointed is Pretrain with a checkpoint cadence. A system
+// restored from a pretraining checkpoint replays only the demonstration
+// episodes it has not consumed yet; the completed warm start is
+// byte-identical to an unbroken one.
+func (f *FairMove) PretrainCheckpointed(city *synth.City, guide policy.Policy, episodes, days int, seed int64, opts checkpoint.TrainOptions) error {
 	f.tel.phase.Set(0)
-	bufs := policy.CollectDemos(city, guide, episodes, days, seed, f.cfg.Workers, f.cfg.Alpha, f.cfg.Gamma)
-	for ep, buf := range bufs {
+	from := f.demoDone
+	bufs := policy.CollectDemosFrom(city, guide, from, episodes, days, seed, f.cfg.Workers, f.cfg.Alpha, f.cfg.Gamma)
+	for i, buf := range bufs {
+		ep := from + i
 		f.tel.demoEpisodes.Inc()
 		f.tel.Transitions.Add(int64(len(buf)))
 		// BeginEpisode re-derives f.src exactly as the serial loop did
 		// before its rollout; the rollout itself never consumed f.src.
 		f.BeginEpisode(policy.DemoEpisodeSeed(seed, ep))
-		if len(buf) == 0 {
-			continue
-		}
-		batch := f.cfg.Batch
-		if batch > len(buf) {
-			batch = len(buf)
-		}
-		iters := len(buf) / batch * 2
-		for it := 0; it < iters; it++ {
-			idxs := make([]int, batch)
-			for b := range idxs {
-				idxs[b] = f.src.Intn(len(buf))
+		if len(buf) > 0 {
+			batch := f.cfg.Batch
+			if batch > len(buf) {
+				batch = len(buf)
 			}
-			f.updateCritic(buf, idxs)
-			f.cloneActor(buf, idxs)
+			iters := len(buf) / batch * 2
+			for it := 0; it < iters; it++ {
+				idxs := make([]int, batch)
+				for b := range idxs {
+					idxs[b] = f.src.Intn(len(buf))
+				}
+				f.updateCritic(buf, idxs)
+				f.cloneActor(buf, idxs)
+			}
+			f.targetCritic.CopyWeightsFrom(f.critic)
+			f.demo = append(f.demo, buf...)
 		}
-		f.targetCritic.CopyWeightsFrom(f.critic)
-		f.demo = append(f.demo, buf...)
+		f.demoDone = ep + 1
+		if opts.ShouldSave(f.demoDone, episodes) {
+			if _, err := checkpoint.SaveDir(opts.Dir, f, opts.Keep); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
 // cloneActor takes one behavior-cloning step toward the demonstrated

@@ -52,6 +52,15 @@ func NewAdam(lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
 }
 
+// State exposes the step count and moment estimates for checkpointing. The
+// returned slices are live views, not copies; m and v are nil until the
+// first Step.
+func (o *Adam) State() (t int, m, v [][]float64) { return o.t, o.m, o.v }
+
+// Restore sets the step count and moment estimates from a checkpoint. Nil
+// moments reproduce a freshly constructed optimizer (Step allocates lazily).
+func (o *Adam) Restore(t int, m, v [][]float64) { o.t, o.m, o.v = t, m, v }
+
 // Step implements Optimizer.
 func (o *Adam) Step(net *MLP) {
 	params, grads := net.Params()

@@ -42,11 +42,20 @@ func Load(r io.Reader) (*MLP, error) {
 	}
 	m := &MLP{}
 	for i, ls := range s.Layers {
-		if ls.In <= 0 || ls.Out <= 0 || len(ls.W) != ls.In*ls.Out || len(ls.B) != ls.Out {
-			return nil, fmt.Errorf("nn: load: layer %d malformed", i)
+		if ls.In <= 0 || ls.Out <= 0 {
+			return nil, fmt.Errorf("nn: load: layer %d has invalid shape %d -> %d", i, ls.In, ls.Out)
+		}
+		if len(ls.W) != ls.In*ls.Out {
+			return nil, fmt.Errorf("nn: load: layer %d has %d weights, shape %d -> %d needs %d", i, len(ls.W), ls.In, ls.Out, ls.In*ls.Out)
+		}
+		if len(ls.B) != ls.Out {
+			return nil, fmt.Errorf("nn: load: layer %d has %d biases, want %d", i, len(ls.B), ls.Out)
+		}
+		if ls.Act < Identity || ls.Act > Tanh {
+			return nil, fmt.Errorf("nn: load: layer %d has unknown activation code %d", i, int(ls.Act))
 		}
 		if i > 0 && ls.In != s.Layers[i-1].Out {
-			return nil, fmt.Errorf("nn: load: layer %d width mismatch", i)
+			return nil, fmt.Errorf("nn: load: layer %d input width %d does not chain from previous output %d", i, ls.In, s.Layers[i-1].Out)
 		}
 		m.Layers = append(m.Layers, &Dense{
 			In: ls.In, Out: ls.Out, Act: ls.Act,

@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+// encodeRaw gob-encodes a hand-built snapshot, bypassing Save's invariants,
+// to exercise each of Load's validation branches.
+func encodeRaw(t *testing.T, layers []layerSnapshot) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshot{Layers: layers}); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestLoadRejectsMalformed(t *testing.T) {
+	ok := layerSnapshot{In: 2, Out: 3, Act: Tanh, W: make([]float64, 6), B: make([]float64, 3)}
+
+	cases := []struct {
+		name    string
+		layers  []layerSnapshot
+		wantSub string
+	}{
+		{"empty network", nil, "empty network"},
+		{"zero input width", []layerSnapshot{{In: 0, Out: 3, B: make([]float64, 3)}}, "invalid shape"},
+		{"negative output width", []layerSnapshot{{In: 2, Out: -1}}, "invalid shape"},
+		{"weight count mismatch", []layerSnapshot{{In: 2, Out: 3, W: make([]float64, 5), B: make([]float64, 3)}}, "weights"},
+		{"bias count mismatch", []layerSnapshot{{In: 2, Out: 3, W: make([]float64, 6), B: make([]float64, 2)}}, "biases"},
+		{"activation below range", []layerSnapshot{{In: 2, Out: 3, Act: -1, W: make([]float64, 6), B: make([]float64, 3)}}, "unknown activation"},
+		{"activation above range", []layerSnapshot{{In: 2, Out: 3, Act: Tanh + 1, W: make([]float64, 6), B: make([]float64, 3)}}, "unknown activation"},
+		{"layers do not chain", []layerSnapshot{ok, {In: 4, Out: 1, W: make([]float64, 4), B: make([]float64, 1)}}, "does not chain"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Load(encodeRaw(t, tc.layers))
+			if err == nil {
+				t.Fatal("malformed snapshot loaded without error")
+			}
+			if m != nil {
+				t.Error("Load returned a network alongside an error")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -41,7 +41,20 @@ func DemoEpisodeSeed(seed int64, ep int) int64 { return seed + demoSeedOffset + 
 // If guide does not implement Cloner the rollout runs serially on the shared
 // instance, whatever workers says: correctness beats speed.
 func CollectDemos(city *synth.City, guide Policy, episodes, days int, seed int64, workers int, alpha, gamma float64) [][]Transition {
-	if episodes <= 0 {
+	return CollectDemosFrom(city, guide, 0, episodes, days, seed, workers, alpha, gamma)
+}
+
+// CollectDemosFrom is CollectDemos restricted to episodes [from, episodes) —
+// the resume path: a learner restored from a pretraining checkpoint replays
+// only the demonstrations it has not consumed yet. Episode ep still rolls
+// out under DemoEpisodeSeed(seed, ep), so the collected transitions are
+// byte-identical to the corresponding tail of a full collection.
+func CollectDemosFrom(city *synth.City, guide Policy, from, episodes, days int, seed int64, workers int, alpha, gamma float64) [][]Transition {
+	if from < 0 {
+		from = 0
+	}
+	n := episodes - from
+	if n <= 0 {
 		return nil
 	}
 	cloner, ok := guide.(Cloner)
@@ -61,15 +74,15 @@ func CollectDemos(city *synth.City, guide Policy, episodes, days int, seed int64
 		)
 		return buf
 	}
-	if parallel.Resolve(workers) == 1 || episodes == 1 {
-		out := make([][]Transition, episodes)
-		for ep := 0; ep < episodes; ep++ {
-			out[ep] = rollout(guide, ep)
+	if parallel.Resolve(workers) == 1 || n == 1 {
+		out := make([][]Transition, n)
+		for i := 0; i < n; i++ {
+			out[i] = rollout(guide, from+i)
 		}
 		return out
 	}
-	out, _ := parallel.Map(context.Background(), workers, episodes, func(_ context.Context, ep int) ([]Transition, error) {
-		return rollout(cloner.CloneForWorker(), ep), nil
+	out, _ := parallel.Map(context.Background(), workers, n, func(_ context.Context, i int) ([]Transition, error) {
+		return rollout(cloner.CloneForWorker(), from+i), nil
 	})
 	return out
 }

@@ -3,6 +3,7 @@ package policy
 import (
 	"math"
 
+	"repro/internal/checkpoint"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -54,6 +55,13 @@ type DQN struct {
 
 	exploring bool
 	eps       float64
+
+	// resume cursors: completed pretraining and fine-tuning episodes.
+	// Checkpoints are cut at episode boundaries, and every per-episode
+	// stream re-derives from (seed, episode), so these two counters plus
+	// the serialized state above fully determine the rest of a run.
+	demoDone int
+	epDone   int
 
 	tel TrainTel
 }
@@ -261,8 +269,17 @@ func (d *DQN) learn() {
 // the offline sweeps then consume them serially in episode order, keeping
 // the result byte-identical to a serial run.
 func (d *DQN) Pretrain(city *synth.City, guide Policy, episodes, days int, seed int64) {
-	bufs := CollectDemos(city, guide, episodes, days, seed, d.Workers, d.Alpha, d.Gamma)
-	for ep, buf := range bufs {
+	_ = d.PretrainCheckpointed(city, guide, episodes, days, seed, checkpoint.TrainOptions{})
+}
+
+// PretrainCheckpointed is Pretrain with a checkpoint cadence. Pretraining
+// resumes past the demonstration episodes a loaded checkpoint already
+// consumed; the completed run is byte-identical to an unbroken one.
+func (d *DQN) PretrainCheckpointed(city *synth.City, guide Policy, episodes, days int, seed int64, opts checkpoint.TrainOptions) error {
+	from := d.demoDone
+	bufs := CollectDemosFrom(city, guide, from, episodes, days, seed, d.Workers, d.Alpha, d.Gamma)
+	for i, buf := range bufs {
+		ep := from + i
 		// Restore d.src exactly where the serial loop left it: reset at the
 		// top of the episode and untouched by the guide-driven rollout.
 		d.BeginEpisode(DemoEpisodeSeed(seed, ep))
@@ -271,17 +288,33 @@ func (d *DQN) Pretrain(city *synth.City, guide Policy, episodes, days int, seed 
 		}
 		// Offline sweep over the demonstration data.
 		steps := len(d.replay) / d.Batch
-		for i := 0; i < steps; i++ {
+		for s := 0; s < steps; s++ {
 			d.learn()
 		}
+		d.demoDone = ep + 1
+		if opts.ShouldSave(d.demoDone, episodes) {
+			if _, err := checkpoint.SaveDir(opts.Dir, d, opts.Keep); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
-// Train runs episodes of environment interaction with replay learning.
+// Train runs episodes of environment interaction with replay learning,
+// continuing until `episodes` total fine-tuning episodes are complete. A
+// learner restored from a mid-run checkpoint picks up at its next episode;
+// the total matters because the linear ε schedule spans all of them.
 func (d *DQN) Train(city *synth.City, episodes, days int, seed int64) TrainStats {
+	stats, _ := d.TrainCheckpointed(city, episodes, days, seed, checkpoint.TrainOptions{})
+	return stats
+}
+
+// TrainCheckpointed is Train with a checkpoint cadence.
+func (d *DQN) TrainCheckpointed(city *synth.City, episodes, days int, seed int64, opts checkpoint.TrainOptions) (TrainStats, error) {
 	stats := TrainStats{Episodes: episodes}
 	env := sim.New(city, sim.DefaultOptions(days), seed)
-	for ep := 0; ep < episodes; ep++ {
+	for ep := d.epDone; ep < episodes; ep++ {
 		epSeed := seed + int64(ep)
 		env.Reset(epSeed)
 		d.BeginEpisode(epSeed)
@@ -310,10 +343,17 @@ func (d *DQN) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 		d.tel.MeanReward.Set(mean)
 		d.tel.Epsilon.Set(d.eps)
 		stats.MeanReward = append(stats.MeanReward, mean)
+		d.epDone = ep + 1
+		if opts.ShouldSave(d.epDone, episodes) {
+			if _, err := checkpoint.SaveDir(opts.Dir, d, opts.Keep); err != nil {
+				d.exploring = false
+				return stats, err
+			}
+		}
 	}
 	d.exploring = false
 	stats.FinalEpsilon = d.eps
-	return stats
+	return stats, nil
 }
 
 // Net exposes the online network (for serialization).

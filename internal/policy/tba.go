@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"repro/internal/checkpoint"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -36,6 +37,14 @@ type TBA struct {
 	demo []Transition
 
 	exploring bool
+
+	// resume cursors (see the DQN fields of the same name). fineTuning
+	// records that Train already swapped in the gentler optimizer, so a
+	// resumed run keeps the warm-start optimizer state instead of resetting
+	// it a second time.
+	demoDone   int
+	epDone     int
+	fineTuning bool
 
 	tel TrainTel
 }
@@ -109,8 +118,16 @@ func (t *TBA) Act(env *sim.Env, vacant []int) map[int]sim.Action {
 // cloning updates consume them serially in episode order — byte-identical
 // to a serial run.
 func (t *TBA) Pretrain(city *synth.City, guide Policy, episodes, days int, seed int64) {
-	bufs := CollectDemos(city, guide, episodes, days, seed, t.Workers, 1.0, t.Gamma)
-	for ep, batch := range bufs {
+	_ = t.PretrainCheckpointed(city, guide, episodes, days, seed, checkpoint.TrainOptions{})
+}
+
+// PretrainCheckpointed is Pretrain with a checkpoint cadence, resuming past
+// the demonstration episodes a loaded checkpoint already consumed.
+func (t *TBA) PretrainCheckpointed(city *synth.City, guide Policy, episodes, days int, seed int64, opts checkpoint.TrainOptions) error {
+	from := t.demoDone
+	bufs := CollectDemosFrom(city, guide, from, episodes, days, seed, t.Workers, 1.0, t.Gamma)
+	for i, batch := range bufs {
+		ep := from + i
 		t.BeginEpisode(DemoEpisodeSeed(seed, ep))
 		t.net.ZeroGrad()
 		for i, tr := range batch {
@@ -132,22 +149,39 @@ func (t *TBA) Pretrain(city *synth.City, guide Policy, episodes, days int, seed 
 		nn.ClipGrads(grads, 5)
 		t.opt.Step(t.net)
 		t.demo = append(t.demo, batch...)
+		t.demoDone = ep + 1
+		if opts.ShouldSave(t.demoDone, episodes) {
+			if _, err := checkpoint.SaveDir(opts.Dir, t, opts.Keep); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
-// Train runs REINFORCE episodes. Rewards are selfish (α = 1: own profit
-// only), matching the competitive setting of [6].
+// Train runs REINFORCE episodes until `episodes` total are complete. Rewards
+// are selfish (α = 1: own profit only), matching the competitive setting
+// of [6].
 func (t *TBA) Train(city *synth.City, episodes, days int, seed int64) TrainStats {
+	stats, _ := t.TrainCheckpointed(city, episodes, days, seed, checkpoint.TrainOptions{})
+	return stats
+}
+
+// TrainCheckpointed is Train with a checkpoint cadence.
+func (t *TBA) TrainCheckpointed(city *synth.City, episodes, days int, seed int64, opts checkpoint.TrainOptions) (TrainStats, error) {
 	stats := TrainStats{Episodes: episodes}
 	env := sim.New(city, sim.DefaultOptions(days), seed)
 
 	// Gentle fine-tuning after a warm start (see FairMove.Train): REINFORCE
 	// returns are noisy, so polish rather than overwrite the demonstrated
-	// policy.
-	if len(t.demo) > 0 {
+	// policy. The fineTuning flag survives checkpoints, so a resumed run
+	// keeps polishing with the optimizer state it saved instead of resetting
+	// the moments a second time.
+	if len(t.demo) > 0 && !t.fineTuning {
 		t.opt = nn.NewAdam(t.LR * 0.1)
 	}
-	for ep := 0; ep < episodes; ep++ {
+	t.fineTuning = true
+	for ep := t.epDone; ep < episodes; ep++ {
 		epSeed := seed + int64(ep)
 		env.Reset(epSeed)
 		t.BeginEpisode(epSeed)
@@ -221,9 +255,16 @@ func (t *TBA) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 			t.tel.Steps.Inc()
 			t.opt.Step(t.net)
 		}
+		t.epDone = ep + 1
+		if opts.ShouldSave(t.epDone, episodes) {
+			if _, err := checkpoint.SaveDir(opts.Dir, t, opts.Keep); err != nil {
+				t.exploring = false
+				return stats, err
+			}
+		}
 	}
 	t.exploring = false
-	return stats
+	return stats, nil
 }
 
 // Entropy returns the mean policy entropy over a sample of observations,

@@ -3,6 +3,7 @@ package policy
 import (
 	"math"
 
+	"repro/internal/checkpoint"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/synth"
@@ -26,6 +27,11 @@ type TQL struct {
 	src *rng.Source
 	// exploration switch: on during Train, off during evaluation.
 	exploring bool
+
+	// resume cursors: completed pretraining and fine-tuning episodes (see
+	// the DQN fields of the same name).
+	demoDone int
+	epDone   int
 
 	tel TrainTel
 }
@@ -155,9 +161,15 @@ type TrainStats struct {
 // ground-truth driver policy) and applies off-policy Q-learning updates to
 // the table — a warm start before on-policy Train.
 func (t *TQL) Pretrain(city *synth.City, guide Policy, episodes, days int, seed int64) {
+	_ = t.PretrainCheckpointed(city, guide, episodes, days, seed, checkpoint.TrainOptions{})
+}
+
+// PretrainCheckpointed is Pretrain with a checkpoint cadence, resuming past
+// the demonstration episodes a loaded checkpoint already consumed.
+func (t *TQL) PretrainCheckpointed(city *synth.City, guide Policy, episodes, days int, seed int64, opts checkpoint.TrainOptions) error {
 	env := sim.New(city, sim.DefaultOptions(days), seed)
-	for ep := 0; ep < episodes; ep++ {
-		epSeed := seed + 7000 + int64(ep)
+	for ep := t.demoDone; ep < episodes; ep++ {
+		epSeed := DemoEpisodeSeed(seed, ep)
 		env.Reset(epSeed)
 		guide.BeginEpisode(epSeed)
 		t.BeginEpisode(epSeed)
@@ -189,16 +201,30 @@ func (t *TQL) Pretrain(city *synth.City, guide Policy, episodes, days int, seed 
 				t.q[o.st] = qs
 			},
 		)
+		t.demoDone = ep + 1
+		if opts.ShouldSave(t.demoDone, episodes) {
+			if _, err := checkpoint.SaveDir(opts.Dir, t, opts.Keep); err != nil {
+				return err
+			}
+		}
 	}
+	return nil
 }
 
-// Train runs episodes of Q-learning on city. Each episode replays a fresh
-// demand realization; transitions close at each taxi's next decision
-// (semi-MDP) and update Q with the standard rule.
+// Train runs episodes of Q-learning on city until `episodes` total episodes
+// are complete. Each episode replays a fresh demand realization; transitions
+// close at each taxi's next decision (semi-MDP) and update Q with the
+// standard rule.
 func (t *TQL) Train(city *synth.City, episodes, days int, seed int64) TrainStats {
+	stats, _ := t.TrainCheckpointed(city, episodes, days, seed, checkpoint.TrainOptions{})
+	return stats
+}
+
+// TrainCheckpointed is Train with a checkpoint cadence.
+func (t *TQL) TrainCheckpointed(city *synth.City, episodes, days int, seed int64, opts checkpoint.TrainOptions) (TrainStats, error) {
 	stats := TrainStats{Episodes: episodes}
 	env := sim.New(city, sim.DefaultOptions(days), seed)
-	for ep := 0; ep < episodes; ep++ {
+	for ep := t.epDone; ep < episodes; ep++ {
 		epSeed := seed + int64(ep)
 		env.Reset(epSeed)
 		t.BeginEpisode(epSeed)
@@ -245,9 +271,16 @@ func (t *TQL) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 		t.tel.MeanReward.Set(mean)
 		t.tel.Epsilon.Set(t.Epsilon)
 		stats.MeanReward = append(stats.MeanReward, mean)
+		t.epDone = ep + 1
+		if opts.ShouldSave(t.epDone, episodes) {
+			if _, err := checkpoint.SaveDir(opts.Dir, t, opts.Keep); err != nil {
+				t.exploring = false
+				return stats, err
+			}
+		}
 	}
 	t.exploring = false
 	stats.FinalEpsilon = t.Epsilon
 	stats.StatesVisited = len(t.q)
-	return stats
+	return stats, nil
 }

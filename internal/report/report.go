@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/parallel"
@@ -63,6 +64,13 @@ type Config struct {
 	// schedule (the -scenario flag of benchtab's gt-only mode). Validate
 	// against the city before running; Run/RunGTOnly do so.
 	Scenario *scenario.Spec
+	// PolicyPath, when non-empty, warm-starts FairMove from a checkpoint
+	// file (benchtab's -policy flag) instead of training it, so comparison
+	// grids and scenario sweeps reload a trained artifact rather than pay
+	// the training cost per run. The checkpoint must have been written under
+	// the same core configuration (seed, α, hyperparameters); mismatches
+	// fail closed.
+	PolicyPath string
 }
 
 // WithTelemetry returns a copy of the Config with the registry installed.
@@ -224,6 +232,12 @@ func (c Config) BuildPolicies(city *synth.City) map[string]policy.Policy {
 				panic("report: " + err.Error())
 			}
 			fm.SetTelemetry(c.Telemetry)
+			if c.PolicyPath != "" {
+				if _, err := checkpoint.ReadFile(c.PolicyPath, fm); err != nil {
+					panic("report: load policy: " + err.Error())
+				}
+				return fm
+			}
 			fm.Pretrain(city, policy.NewCoordinator(), c.PretrainEpisodes, 1, c.Seed)
 			fm.Train(city, c.TrainEpisodes, 1, c.Seed)
 			return fm
