@@ -6,15 +6,16 @@
 
 GO ?= go
 
-# Statement-coverage floor for the scenario engine and the trace codec —
-# the packages whose tests ARE the regression harness (golden digests,
-# fuzz corpora): uncovered code there is unpinned behavior.
-COVER_PKGS = ./internal/scenario/ ./internal/trace/ ./internal/checkpoint/
+# Statement-coverage floor for the scenario engine, the trace codec, and
+# the sharded-engine driver — the packages whose tests ARE the regression
+# harness (golden digests, fuzz corpora, shard-invariance battery):
+# uncovered code there is unpinned behavior.
+COVER_PKGS = ./internal/scenario/ ./internal/trace/ ./internal/checkpoint/ ./internal/shard/
 COVER_FLOOR = 70
 
-.PHONY: ci vet build test race cover smoke resume-smoke fuzz bench
+.PHONY: ci vet build test race cover smoke resume-smoke shard-smoke bench-record fuzz bench
 
-ci: vet build test race cover smoke resume-smoke
+ci: vet build test race cover smoke resume-smoke shard-smoke
 
 vet:
 	$(GO) vet ./...
@@ -78,3 +79,15 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# Sharded-engine smoke: one clean short-mode episode plus the shards=1 vs
+# shards=N equivalence on the small fixture. The full invariance battery
+# (all golden fixtures, every shard count) runs in `make test`.
+shard-smoke:
+	$(GO) test -short -run 'TestShardSmoke|TestShardCountInvariance' ./internal/shard/ .
+
+# Re-measure slot-stepping throughput (legacy vs shard ladder, three
+# scales, best of three reps each) and rewrite BENCH_sharding.json. Not in
+# ci: the full tier steps the paper's 20,130-taxi fleet for ~2 minutes.
+bench-record:
+	$(GO) test -run TestRecordShardingBench -recordbench -timeout 1800s .

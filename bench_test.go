@@ -15,15 +15,21 @@ package fairmove
 //	go test -bench=. -benchscale=default   # EXPERIMENTS.md scale (minutes)
 //	go test -bench=. -benchscale=full      # the paper's 20,130-taxi fleet
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
+	"os"
 	"sync"
 	"testing"
 
 	"repro/internal/report"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/synth"
 	"repro/internal/telemetry"
 )
 
-var benchScale = flag.String("benchscale", "small", "benchmark scale: small, default, or full")
+var benchScale = flag.String("benchscale", "small", "benchmark scale: small, default, full, or mega")
 
 var (
 	benchOnce   sync.Once
@@ -34,11 +40,45 @@ var (
 // benchSink prevents dead-code elimination of the measured formatting work.
 var benchSink string
 
+// resolveBenchScale validates -benchscale and fails loudly on anything
+// outside the known ladder — a typo must not silently fall back to small.
+func resolveBenchScale(tb testing.TB) string {
+	tb.Helper()
+	switch *benchScale {
+	case "small", "default", "full", "mega":
+		return *benchScale
+	}
+	tb.Fatalf("unknown -benchscale %q: want small, default, full, or mega", *benchScale)
+	return ""
+}
+
+// benchCityConfig maps the validated scale to a synthetic-city size for the
+// engine stepping benchmarks (the report bundle has its own scale mapping).
+func benchCityConfig(tb testing.TB) synth.Config {
+	switch resolveBenchScale(tb) {
+	case "default":
+		return synth.DefaultConfig(42)
+	case "full":
+		return synth.FullScaleConfig(42)
+	case "mega":
+		return synth.MegaScaleConfig(42)
+	default:
+		return synth.TestConfig(42)
+	}
+}
+
 func sharedBundle(b *testing.B) *report.Bundle {
 	b.Helper()
+	scaleName := resolveBenchScale(b)
+	if scaleName == "mega" {
+		// The mega tier exists for the engine stepping benchmarks only:
+		// training all six strategies on a 200k fleet is not a benchmark,
+		// it is a datacenter bill.
+		b.Skip("report bundle benchmarks do not run at -benchscale=mega")
+	}
 	benchOnce.Do(func() {
 		scale := report.ScaleSmall
-		switch *benchScale {
+		switch scaleName {
 		case "default":
 			scale = report.ScaleDefault
 		case "full":
@@ -123,6 +163,64 @@ func BenchmarkHeadlineComparison(b *testing.B) {
 	benchSection(b, sharedBundle(b).FormatComparisonSummary)
 }
 
+// --- Engine stepping (the sharding tentpole) ---
+
+var (
+	benchCityMu sync.Mutex
+	benchCities = map[string]*synth.City{}
+)
+
+// benchCity builds (once per scale, shared across benchmarks) the stepping
+// city for the current -benchscale.
+func benchCity(tb testing.TB) *synth.City {
+	cfg := benchCityConfig(tb)
+	name := resolveBenchScale(tb)
+	benchCityMu.Lock()
+	defer benchCityMu.Unlock()
+	if c, ok := benchCities[name]; ok {
+		return c
+	}
+	city, err := synth.Build(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	benchCities[name] = city
+	return city
+}
+
+// benchStepSlots reports ns per simulated slot: each iteration is one
+// Step(nil), with episode resets excluded from the timer.
+func benchStepSlots(b *testing.B, env sim.Environment) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if env.Done() {
+			b.StopTimer()
+			env.Reset(42)
+			b.StartTimer()
+		}
+		env.Step(nil)
+	}
+}
+
+// BenchmarkEngineStepLegacy is the pre-sharding baseline: the sequential
+// engine's per-minute fleet sweeps.
+func BenchmarkEngineStepLegacy(b *testing.B) {
+	benchStepSlots(b, sim.New(benchCity(b), sim.DefaultOptions(1), 42))
+}
+
+// BenchmarkEngineStepSharded steps the region-sharded engine across the
+// shard ladder. The shards=1 row isolates the event-calendar win over the
+// legacy sweep; higher counts add barrier overhead and (on multi-core
+// hosts) concurrency.
+func BenchmarkEngineStepSharded(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			benchStepSlots(b, shard.New(benchCity(b), sim.DefaultOptions(1), k, 42))
+		})
+	}
+}
+
 // --- Telemetry overhead ---
 
 // The pair below measures the same CompareAll re-evaluation (policies are
@@ -149,4 +247,91 @@ func benchCompareAll(b *testing.B, tel bool) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- BENCH_sharding.json recorder ---
+
+var recordBench = flag.Bool("recordbench", false,
+	"re-measure the sharding benchmarks and rewrite BENCH_sharding.json (make bench-record)")
+
+type shardBenchEntry struct {
+	Engine    string  `json:"engine"` // "legacy" or "sharded"
+	Shards    int     `json:"shards,omitempty"`
+	NsPerSlot float64 `json:"ns_per_slot"`
+	Slots     int     `json:"slots_timed"`
+}
+
+type shardBenchScale struct {
+	Scale          string            `json:"scale"`
+	Fleet          int               `json:"fleet"`
+	Regions        int               `json:"regions"`
+	Engines        []shardBenchEntry `json:"engines"`
+	SpeedupShards4 float64           `json:"speedup_shards4_vs_legacy"`
+}
+
+type shardBenchFile struct {
+	Command string            `json:"command"`
+	Scales  []shardBenchScale `json:"scales"`
+}
+
+// TestRecordShardingBench re-measures slot-stepping throughput for the
+// legacy engine and the sharded engine at shards 1, 2, 4, 8 across the
+// small/default/full scales, and rewrites BENCH_sharding.json. Guarded by
+// -recordbench because the full tier steps the paper's 20,130-taxi fleet.
+func TestRecordShardingBench(t *testing.T) {
+	if !*recordBench {
+		t.Skip("pass -recordbench (make bench-record) to rewrite BENCH_sharding.json")
+	}
+	configs := []struct {
+		name string
+		cfg  synth.Config
+	}{
+		{"small", synth.TestConfig(42)},
+		{"default", synth.DefaultConfig(42)},
+		{"full", synth.FullScaleConfig(42)},
+	}
+	out := shardBenchFile{Command: "make bench-record"}
+	for _, sc := range configs {
+		city, err := synth.Build(sc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Best of three repetitions per engine: the recorder wants the
+		// engines' algorithmic cost, and on a shared host the minimum is a
+		// far more stable estimator of that than any single run's mean.
+		measure := func(build func() sim.Environment) (float64, int) {
+			best, bestN := 0.0, 0
+			for rep := 0; rep < 3; rep++ {
+				r := testing.Benchmark(func(b *testing.B) {
+					benchStepSlots(b, build())
+				})
+				if ns := float64(r.NsPerOp()); best == 0 || ns < best {
+					best, bestN = ns, r.N
+				}
+			}
+			return best, bestN
+		}
+		row := shardBenchScale{Scale: sc.name, Fleet: sc.cfg.Fleet, Regions: sc.cfg.Regions}
+		legacyNs, n := measure(func() sim.Environment { return sim.New(city, sim.DefaultOptions(1), 42) })
+		row.Engines = append(row.Engines, shardBenchEntry{Engine: "legacy", NsPerSlot: legacyNs, Slots: n})
+		t.Logf("%s: legacy %.0f ns/slot (%d slots)", sc.name, legacyNs, n)
+		for _, k := range []int{1, 2, 4, 8} {
+			k := k
+			ns, n := measure(func() sim.Environment { return shard.New(city, sim.DefaultOptions(1), k, 42) })
+			row.Engines = append(row.Engines, shardBenchEntry{Engine: "sharded", Shards: k, NsPerSlot: ns, Slots: n})
+			t.Logf("%s: shards=%d %.0f ns/slot (%d slots, %.2fx vs legacy)", sc.name, k, ns, n, legacyNs/ns)
+			if k == 4 && ns > 0 {
+				row.SpeedupShards4 = legacyNs / ns
+			}
+		}
+		out.Scales = append(out.Scales, row)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sharding.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_sharding.json")
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/synth"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // microConfig is deliberately smaller than tinyConfig: the worker-invariance
@@ -308,6 +309,70 @@ func TestBaselineCheckpointResumeDeterminism(t *testing.T) {
 	if pe1 != pe2 || pf1 != pf2 || served1 != served2 {
 		t.Fatalf("resumed DQN evaluates differently: PE %v/%v PF %v/%v served %d/%d",
 			pe1, pe2, pf1, pf2, served1, served2)
+	}
+}
+
+// TestShardCountInvariance pins the sharded engine's contract at the system
+// level: a full train-and-evaluate pipeline configured with Shards=1, 2, 4,
+// and 8 must produce byte-identical trained-policy checkpoints, identical
+// evaluation trace digests, identical deterministic telemetry counters, and
+// identical reports. The shard count may only change wall-clock, never a
+// single byte of the trajectory.
+func TestShardCountInvariance(t *testing.T) {
+	type outcome struct {
+		digest   string
+		counters map[string]int64
+		policy   []byte
+		report   EvalReport
+	}
+	run := func(shards int) outcome {
+		cfg := microConfig(21, 0)
+		cfg.Shards = shards
+		s, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var events []trace.Event
+		s.SetRecorder(func(ev trace.Event) { events = append(events, ev) })
+		reg := telemetry.NewRegistry()
+		s.SetTelemetry(reg)
+		rep, err := s.Evaluate(FairMove) // trains, then evaluates, both sharded
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "policy.fmck")
+		if err := s.SavePolicy(path); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outcome{
+			digest:   trace.DigestEvents(events),
+			counters: deterministicCounters(reg.Snapshot()),
+			policy:   data,
+			report:   rep,
+		}
+	}
+	ref := run(1)
+	if ref.digest == "" {
+		t.Fatal("evaluation recorded no events")
+	}
+	for _, k := range []int{2, 4, 8} {
+		got := run(k)
+		if got.digest != ref.digest {
+			t.Errorf("shards=%d: eval trace digest %s != shards=1 digest %s", k, got.digest, ref.digest)
+		}
+		if !reflect.DeepEqual(got.counters, ref.counters) {
+			t.Errorf("shards=%d: deterministic counters diverged:\n%v\n%v", k, got.counters, ref.counters)
+		}
+		if !bytes.Equal(got.policy, ref.policy) {
+			t.Errorf("shards=%d: trained policy checkpoint is not byte-identical to shards=1", k)
+		}
+		if !reflect.DeepEqual(got.report, ref.report) {
+			t.Errorf("shards=%d: evaluation report diverged:\n%+v\n%+v", k, got.report, ref.report)
+		}
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/policy"
 	"repro/internal/scenario"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/synth"
@@ -81,6 +82,14 @@ type Config struct {
 	// <= 0 means GOMAXPROCS. Every worker count produces byte-identical
 	// results for the same seed — parallelism only changes wall-clock.
 	Workers int
+
+	// Shards, when positive, runs every simulation (training and
+	// evaluation) on the region-sharded engine with that many shards.
+	// Results are invariant in the shard count — Shards=1 and Shards=8
+	// produce byte-identical trajectories — but the sharded engine is a
+	// different (faster) engine than the sequential default, so Shards=0
+	// (legacy) and Shards>0 trajectories differ. See DESIGN.md §Sharding.
+	Shards int
 }
 
 // DefaultConfig returns a laptop-scale configuration. It preserves the
@@ -176,6 +185,10 @@ type System struct {
 	// use internal/report for per-method snapshots.
 	tel *telemetry.Registry
 
+	// rec, when non-nil, receives the canonical event stream of every
+	// evaluation environment built after SetRecorder.
+	rec sim.Recorder
+
 	// mu guards trained. CompareAll trains methods on concurrent workers;
 	// each method is owned by exactly one worker, so only the shared cache
 	// needs the lock.
@@ -202,6 +215,9 @@ func NewSystem(cfg Config) (*System, error) {
 	fm, err := core.New(ccfg)
 	if err != nil {
 		return nil, fmt.Errorf("fairmove: %w", err)
+	}
+	if cfg.Shards > 0 {
+		fm.SetEnvBuilder(shard.Builder(cfg.Shards))
 	}
 	return &System{
 		cfg:     cfg,
@@ -241,10 +257,20 @@ func (s *System) SetTelemetry(r *telemetry.Registry) {
 	s.fm.SetTelemetry(r)
 }
 
-// newEvalEnv builds an evaluation environment with the installed scenario
-// (if any) attached.
-func (s *System) newEvalEnv() *sim.Env {
-	env := sim.New(s.city, s.evalOptions(), s.cfg.Seed)
+// envBuilder returns the engine selector for this system: nil (the
+// sequential default) unless Config.Shards asks for the region-sharded
+// engine. Trainers resolve nil via sim.BuildEnv.
+func (s *System) envBuilder() sim.EnvBuilder {
+	if s.cfg.Shards > 0 {
+		return shard.Builder(s.cfg.Shards)
+	}
+	return nil
+}
+
+// newEvalEnv builds an evaluation environment — sequential or sharded per
+// Config.Shards — with the installed scenario (if any) attached.
+func (s *System) newEvalEnv() sim.Environment {
+	env := sim.BuildEnv(s.envBuilder(), s.city, s.evalOptions(), s.cfg.Seed)
 	if s.scn != nil {
 		// Validated in SetScenario; Attach re-checks against the same city.
 		if _, err := scenario.Attach(env, s.scn); err != nil {
@@ -252,8 +278,16 @@ func (s *System) newEvalEnv() *sim.Env {
 		}
 	}
 	env.SetTelemetry(s.tel)
+	env.SetRecorder(s.rec)
 	return env
 }
+
+// SetRecorder installs (or, with nil, removes) a trace recorder that every
+// subsequent evaluation environment emits its events into. Like telemetry it
+// is write-only: recording cannot perturb a trajectory. Recorders see the
+// canonical event order whatever the engine, so digests taken here are the
+// cross-engine and cross-shard comparison point.
+func (s *System) SetRecorder(r sim.Recorder) { s.rec = r }
 
 // TrainReport summarizes FairMove training.
 type TrainReport struct {
@@ -369,12 +403,14 @@ func (s *System) policyFor(m Method) (policy.Policy, error) {
 		p = policy.NewSD2()
 	case TQL:
 		q := policy.NewTQL(s.cfg.Alpha)
+		q.Env = s.envBuilder()
 		q.SetTelemetry(s.tel)
 		q.Pretrain(s.city, teacher, s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 		q.Train(s.city, s.cfg.TrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 		p = q
 	case DQN:
 		d := policy.NewDQN(s.cfg.Alpha, s.cfg.Seed)
+		d.Env = s.envBuilder()
 		d.Workers = s.cfg.Workers
 		d.SetTelemetry(s.tel)
 		d.Pretrain(s.city, teacher, s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
@@ -382,6 +418,7 @@ func (s *System) policyFor(m Method) (policy.Policy, error) {
 		p = d
 	case TBA:
 		b := policy.NewTBA(s.cfg.Seed)
+		b.Env = s.envBuilder()
 		b.Workers = s.cfg.Workers
 		b.SetTelemetry(s.tel)
 		b.Pretrain(s.city, teacher, s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
@@ -514,6 +551,7 @@ func (s *System) AlphaSweep(alphas []float64) (sortedAlphas, rewards []float64, 
 			if err != nil {
 				return 0, err
 			}
+			fm.SetEnvBuilder(s.envBuilder())
 			fm.Pretrain(s.city, policy.NewCoordinator(), s.cfg.PretrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 			st := fm.Train(s.city, s.cfg.TrainEpisodes, s.cfg.TrainDays, s.cfg.Seed)
 			if len(st.MeanReward) == 0 {
@@ -536,6 +574,7 @@ func (s *System) LoadModel(r io.Reader) error {
 	if err != nil {
 		return err
 	}
+	fm.SetEnvBuilder(s.envBuilder())
 	fm.SetTelemetry(s.tel)
 	s.fm = fm
 	s.trained[FairMove] = fm

@@ -183,15 +183,15 @@ func TestShouldSave(t *testing.T) {
 		done, total int
 		want        bool
 	}{
-		{TrainOptions{}, 5, 10, false},                          // disabled
-		{TrainOptions{}, 10, 10, false},                         // disabled even at end
-		{TrainOptions{Dir: "d"}, 5, 10, false},                  // no cadence, mid-run
-		{TrainOptions{Dir: "d"}, 10, 10, true},                  // final always saves
-		{TrainOptions{Dir: "d", Every: 3}, 3, 10, true},         // on cadence
-		{TrainOptions{Dir: "d", Every: 3}, 4, 10, false},        // off cadence
-		{TrainOptions{Dir: "d", Every: 3}, 9, 10, true},         // on cadence
-		{TrainOptions{Dir: "d", Every: 3}, 10, 10, true},        // final wins off-cadence
-		{TrainOptions{Dir: "d", Every: 7}, 12, 10, true},        // past total
+		{TrainOptions{}, 5, 10, false},                   // disabled
+		{TrainOptions{}, 10, 10, false},                  // disabled even at end
+		{TrainOptions{Dir: "d"}, 5, 10, false},           // no cadence, mid-run
+		{TrainOptions{Dir: "d"}, 10, 10, true},           // final always saves
+		{TrainOptions{Dir: "d", Every: 3}, 3, 10, true},  // on cadence
+		{TrainOptions{Dir: "d", Every: 3}, 4, 10, false}, // off cadence
+		{TrainOptions{Dir: "d", Every: 3}, 9, 10, true},  // on cadence
+		{TrainOptions{Dir: "d", Every: 3}, 10, 10, true}, // final wins off-cadence
+		{TrainOptions{Dir: "d", Every: 7}, 12, 10, true}, // past total
 	}
 	for i, tc := range cases {
 		if got := tc.opts.ShouldSave(tc.done, tc.total); got != tc.want {

@@ -101,8 +101,17 @@ type FairMove struct {
 	epDone     int
 	fineTuning bool
 
+	// env builds the training environments; nil means the sequential
+	// engine. Set with SetEnvBuilder.
+	env sim.EnvBuilder
+
 	tel coreTel
 }
+
+// SetEnvBuilder installs the environment builder training uses (nil restores
+// the sequential engine). The facade sets shard.Builder(k) here when the
+// system is configured to run region-sharded.
+func (f *FairMove) SetEnvBuilder(b sim.EnvBuilder) { f.env = b }
 
 // New creates an untrained FairMove system.
 func New(cfg Config) (*FairMove, error) {
@@ -166,7 +175,7 @@ func (f *FairMove) choose(obs sim.Observation) int {
 // single-writer), the shared actor evaluates all rows sharded across
 // workers (inference only reads the weights), and sampling consumes f.src
 // serially in vacant order — the same rng draw sequence as a per-taxi loop.
-func (f *FairMove) Act(env *sim.Env, vacant []int) map[int]sim.Action {
+func (f *FairMove) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 	actions := make(map[int]sim.Action, len(vacant))
 	obs := make([]sim.Observation, len(vacant))
 	rows := make([][]float64, len(vacant))
@@ -213,7 +222,7 @@ func (f *FairMove) Train(city *synth.City, episodes, days int, seed int64) Train
 // learner state is written crash-safely into opts.Dir.
 func (f *FairMove) TrainCheckpointed(city *synth.City, episodes, days int, seed int64, opts checkpoint.TrainOptions) (TrainStats, error) {
 	stats := TrainStats{Episodes: episodes}
-	env := sim.New(city, sim.DefaultOptions(days), seed)
+	env := sim.BuildEnv(f.env, city, sim.DefaultOptions(days), seed)
 
 	// When a warm start is present, fine-tuning polishes rather than
 	// re-learns: the actor steps an order of magnitude smaller so the noisy
@@ -333,7 +342,7 @@ func (f *FairMove) Pretrain(city *synth.City, guide policy.Policy, episodes, day
 func (f *FairMove) PretrainCheckpointed(city *synth.City, guide policy.Policy, episodes, days int, seed int64, opts checkpoint.TrainOptions) error {
 	f.tel.phase.Set(0)
 	from := f.demoDone
-	bufs := policy.CollectDemosFrom(city, guide, from, episodes, days, seed, f.cfg.Workers, f.cfg.Alpha, f.cfg.Gamma)
+	bufs := policy.CollectDemosFrom(f.env, city, guide, from, episodes, days, seed, f.cfg.Workers, f.cfg.Alpha, f.cfg.Gamma)
 	for i, buf := range bufs {
 		ep := from + i
 		f.tel.demoEpisodes.Inc()

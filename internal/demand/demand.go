@@ -149,6 +149,15 @@ type Model struct {
 
 	// destWeights[o] caches gravity weights from origin o to every region.
 	destWeights [][]float64
+	// destAlias[o] caches the alias table of destWeights[o] for the O(1)
+	// destination draw used by SampleRegionScaledFast.
+	destAlias []rng.Alias
+	// tris[o] caches region o's triangle fan for O(1) point placement on
+	// the fast sampling path.
+	tris []regionTris
+	// cosMidLat caches the cosine of the city's mid latitude for the fast
+	// path's equirectangular trip distances.
+	cosMidLat float64
 	// meanDistKm[o] caches the gravity-weighted mean haversine trip
 	// distance from origin o, used for fast expected-fare queries.
 	meanDistKm []float64
@@ -270,6 +279,7 @@ func New(part *partition.Partition, profiles []RegionProfile, fares pricing.Fare
 func (m *Model) buildGravity() {
 	n := m.part.Len()
 	m.destWeights = make([][]float64, n)
+	m.destAlias = make([]rng.Alias, n)
 	m.meanDistKm = make([]float64, n)
 	for o := 0; o < n; o++ {
 		ws := make([]float64, n)
@@ -285,9 +295,92 @@ func (m *Model) buildGravity() {
 			wdSum += w * dist
 		}
 		m.destWeights[o] = ws
+		m.destAlias[o] = rng.NewAlias(ws)
 		if wSum > 0 {
 			m.meanDistKm[o] = wdSum / wSum
 		}
+	}
+	m.buildTris()
+}
+
+// regionTris is a region polygon's triangle fan: triangle i is (apex, b[i],
+// c[i]), with cum the prefix sums of the triangles' lng-lat areas.
+type regionTris struct {
+	apex  geo.Point
+	b, c  []geo.Point
+	cum   []float64
+	total float64
+}
+
+// buildTris fans every region polygon from its first vertex. The partition's
+// regions are convex (jittered grid quads), so the fan tiles each polygon
+// exactly and picking a triangle by area then a uniform point inside it is a
+// uniform draw over the region — the O(1) replacement for the fast path's
+// rejection sampling.
+func (m *Model) buildTris() {
+	n := m.part.Len()
+	m.tris = make([]regionTris, n)
+	minLat, maxLat := math.Inf(1), math.Inf(-1)
+	for r := 0; r < n; r++ {
+		for _, p := range m.part.Region(r).Polygon.Ring {
+			minLat = math.Min(minLat, p.Lat)
+			maxLat = math.Max(maxLat, p.Lat)
+		}
+	}
+	m.cosMidLat = 1
+	if minLat <= maxLat {
+		m.cosMidLat = math.Cos((minLat + maxLat) / 2 * math.Pi / 180)
+	}
+	for r := 0; r < n; r++ {
+		ring := m.part.Region(r).Polygon.Ring
+		if len(ring) < 3 {
+			continue
+		}
+		tr := &m.tris[r]
+		tr.apex = ring[0]
+		for i := 1; i < len(ring)-1; i++ {
+			b, cc := ring[i], ring[i+1]
+			area := math.Abs((b.Lng-tr.apex.Lng)*(cc.Lat-tr.apex.Lat) - (cc.Lng-tr.apex.Lng)*(b.Lat-tr.apex.Lat))
+			tr.b = append(tr.b, b)
+			tr.c = append(tr.c, cc)
+			tr.total += area
+			tr.cum = append(tr.cum, tr.total)
+		}
+	}
+}
+
+// randPointInFast places a uniform point in region via its triangle fan
+// with exactly two uniform draws and no rejection loop: the first draw
+// picks the triangle by area, and its position within the chosen area
+// segment — uniform conditional on the pick — is rescaled into the first
+// barycentric coordinate. Used only on the fast sampling path; the draw
+// count and therefore the stream differ from randPointIn.
+func (m *Model) randPointInFast(src *rng.Source, region int) geo.Point {
+	tr := &m.tris[region]
+	if tr.total <= 0 {
+		return m.part.Region(region).Centroid
+	}
+	u := src.Float64()
+	i := 0
+	if len(tr.cum) > 1 {
+		x := u * tr.total
+		for i < len(tr.cum)-1 && tr.cum[i] <= x {
+			i++
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = tr.cum[i-1]
+		}
+		u = (x - lo) / (tr.cum[i] - lo)
+	}
+	v := src.Float64()
+	if u+v > 1 {
+		u, v = 1-u, 1-v
+	}
+	a, b, cc := tr.apex, tr.b[i], tr.c[i]
+	return geo.Point{
+		Lng: a.Lng + u*(b.Lng-a.Lng) + v*(cc.Lng-a.Lng),
+		Lat: a.Lat + u*(b.Lat-a.Lat) + v*(cc.Lat-a.Lat),
 	}
 }
 
@@ -384,20 +477,51 @@ func (m *Model) SampleScaled(src *rng.Source, tMin, slotMin int, scale ScaleFunc
 	var out []Request
 	n := m.part.Len()
 	for region := 0; region < n; region++ {
-		mean := m.ExpectedSlotDemand(region, tMin, slotMin)
+		factor := 1.0
 		if scale != nil {
-			if f := scale(region); f > 0 {
-				mean *= f
-			} else {
-				mean = 0
-			}
+			factor = scale(region)
 		}
-		count := src.Poisson(mean)
-		for i := 0; i < count; i++ {
-			out = append(out, m.sampleOne(src, region, tMin+src.Intn(maxInt(slotMin, 1))))
-		}
+		out = m.SampleRegionScaled(out, src, region, tMin, slotMin, factor)
 	}
 	return out
+}
+
+// SampleRegionScaled appends the slot's requests for a single region to dst,
+// drawing only from src: one Poisson count draw, then per request one
+// arrival-offset draw plus the trip draws. Looping it over all regions with
+// one source is exactly SampleScaled; a sharded engine instead calls it with
+// one source per region, which makes the realization independent of how
+// regions are grouped. factor scales the expected demand (1 = unperturbed,
+// <= 0 silences the region without skipping the count draw).
+func (m *Model) SampleRegionScaled(dst []Request, src *rng.Source, region, tMin, slotMin int, factor float64) []Request {
+	return m.sampleRegion(dst, src, region, tMin, slotMin, factor, false)
+}
+
+// SampleRegionScaledFast is SampleRegionScaled on O(1)-per-request cached
+// machinery: destinations come from a gravity alias table, points from the
+// region's triangle fan, and trip distances from the equirectangular
+// approximation. It draws from the same per-region stream but consumes a
+// different number of draws per request, so realizations are not
+// byte-identical to the linear form — same marginal distributions, different
+// sample path. The legacy engine keeps SampleRegionScaled (its golden traces
+// are pinned); the sharded engine uses this everywhere, at every shard
+// count, so shard invariance is unaffected.
+func (m *Model) SampleRegionScaledFast(dst []Request, src *rng.Source, region, tMin, slotMin int, factor float64) []Request {
+	return m.sampleRegion(dst, src, region, tMin, slotMin, factor, true)
+}
+
+func (m *Model) sampleRegion(dst []Request, src *rng.Source, region, tMin, slotMin int, factor float64, fast bool) []Request {
+	mean := m.ExpectedSlotDemand(region, tMin, slotMin)
+	if factor > 0 {
+		mean *= factor
+	} else {
+		mean = 0
+	}
+	count := src.Poisson(mean)
+	for i := 0; i < count; i++ {
+		dst = append(dst, m.sampleOne(src, region, tMin+src.Intn(maxInt(slotMin, 1)), fast))
+	}
+	return dst
 }
 
 func maxInt(a, b int) int {
@@ -407,11 +531,27 @@ func maxInt(a, b int) int {
 	return b
 }
 
-func (m *Model) sampleOne(src *rng.Source, origin, tMin int) Request {
-	dest := src.WeightedChoice(m.destWeights[origin])
-	op := m.randPointIn(src, origin)
-	dp := m.randPointIn(src, dest)
-	distKm := geo.Distance(op, dp) * RoadFactor
+func (m *Model) sampleOne(src *rng.Source, origin, tMin int, fast bool) Request {
+	var dest int
+	var op, dp geo.Point
+	var distKm float64
+	if fast {
+		dest = src.AliasChoice(m.destAlias[origin])
+		op = m.randPointInFast(src, origin)
+		dp = m.randPointInFast(src, dest)
+		// Equirectangular distance with the city-wide cached cosine: at
+		// intra-city extents it matches the haversine to well under 0.1%,
+		// far inside RoadFactor's fudge.
+		const degToRad = math.Pi / 180
+		dLat := (dp.Lat - op.Lat) * degToRad
+		dLng := (dp.Lng - op.Lng) * degToRad * m.cosMidLat
+		distKm = geo.EarthRadiusKm * math.Sqrt(dLat*dLat+dLng*dLng) * RoadFactor
+	} else {
+		dest = src.WeightedChoice(m.destWeights[origin])
+		op = m.randPointIn(src, origin)
+		dp = m.randPointIn(src, dest)
+		distKm = geo.Distance(op, dp) * RoadFactor
+	}
 	if distKm < 0.5 {
 		distKm = 0.5 + src.Uniform(0, 1.0) // minimum meaningful trip
 	}
@@ -435,7 +575,7 @@ func (m *Model) sampleOne(src *rng.Source, origin, tMin int) Request {
 // SampleTripFrom generates a single request originating in region at tMin.
 // The simulator uses it when a matched passenger's trip needs materializing.
 func (m *Model) SampleTripFrom(src *rng.Source, region, tMin int) Request {
-	return m.sampleOne(src, region, tMin)
+	return m.sampleOne(src, region, tMin, false)
 }
 
 // MeanFare estimates the mean per-trip fare from region at the given hour by
@@ -446,7 +586,7 @@ func (m *Model) MeanFare(src *rng.Source, region, hour, samples int) float64 {
 	}
 	var sum float64
 	for i := 0; i < samples; i++ {
-		sum += m.sampleOne(src, region, hour*60).Fare
+		sum += m.sampleOne(src, region, hour*60, false).Fare
 	}
 	return sum / float64(samples)
 }

@@ -56,7 +56,7 @@ func (c *Coordinator) CloneForWorker() Policy {
 }
 
 // Act implements Policy.
-func (c *Coordinator) Act(env *sim.Env, vacant []int) map[int]sim.Action {
+func (c *Coordinator) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 	city := env.City()
 	n := city.Partition.Len()
 	now := env.Now()
@@ -124,7 +124,7 @@ func (c *Coordinator) Act(env *sim.Env, vacant []int) map[int]sim.Action {
 // moveToward picks the adjacent region with the largest unmet demand,
 // updating the pressure field so later assignments see the claim; it
 // returns Stay when no neighbor has meaningfully more need.
-func (c *Coordinator) moveToward(env *sim.Env, region int, gap []float64) sim.Action {
+func (c *Coordinator) moveToward(env sim.Environment, region int, gap []float64) sim.Action {
 	nbs := env.City().Partition.Region(region).Neighbors
 	bestI, bestGap := -1, gap[region]+1
 	for i, nb := range nbs {
@@ -145,7 +145,7 @@ func (c *Coordinator) moveToward(env *sim.Env, region int, gap []float64) sim.Ac
 
 // bestStation returns the rank of the nearest-five station minimizing an
 // expected-wait score: queue relative to point count plus travel distance.
-func (c *Coordinator) bestStation(env *sim.Env, region int) int {
+func (c *Coordinator) bestStation(env sim.Environment, region int) int {
 	ns := env.NearStations(region)
 	best, bestScore := 0, 1e18
 	for k := 0; k < len(ns) && k < sim.KStations; k++ {
@@ -161,7 +161,7 @@ func (c *Coordinator) bestStation(env *sim.Env, region int) int {
 
 // stationHasFree reports whether any of the region's nearest stations has a
 // free point right now.
-func (c *Coordinator) stationHasFree(env *sim.Env, region int) bool {
+func (c *Coordinator) stationHasFree(env sim.Environment, region int) bool {
 	for _, nb := range env.NearStations(region) {
 		if env.StationState(nb.Label).Free() > 0 {
 			return true

@@ -41,7 +41,7 @@ func DemoEpisodeSeed(seed int64, ep int) int64 { return seed + demoSeedOffset + 
 // If guide does not implement Cloner the rollout runs serially on the shared
 // instance, whatever workers says: correctness beats speed.
 func CollectDemos(city *synth.City, guide Policy, episodes, days int, seed int64, workers int, alpha, gamma float64) [][]Transition {
-	return CollectDemosFrom(city, guide, 0, episodes, days, seed, workers, alpha, gamma)
+	return CollectDemosFrom(nil, city, guide, 0, episodes, days, seed, workers, alpha, gamma)
 }
 
 // CollectDemosFrom is CollectDemos restricted to episodes [from, episodes) —
@@ -49,7 +49,7 @@ func CollectDemos(city *synth.City, guide Policy, episodes, days int, seed int64
 // only the demonstrations it has not consumed yet. Episode ep still rolls
 // out under DemoEpisodeSeed(seed, ep), so the collected transitions are
 // byte-identical to the corresponding tail of a full collection.
-func CollectDemosFrom(city *synth.City, guide Policy, from, episodes, days int, seed int64, workers int, alpha, gamma float64) [][]Transition {
+func CollectDemosFrom(build sim.EnvBuilder, city *synth.City, guide Policy, from, episodes, days int, seed int64, workers int, alpha, gamma float64) [][]Transition {
 	if from < 0 {
 		from = 0
 	}
@@ -63,7 +63,7 @@ func CollectDemosFrom(city *synth.City, guide Policy, from, episodes, days int, 
 	}
 	rollout := func(g Policy, ep int) []Transition {
 		epSeed := DemoEpisodeSeed(seed, ep)
-		env := sim.New(city, sim.DefaultOptions(days), epSeed)
+		env := sim.BuildEnv(build, city, sim.DefaultOptions(days), epSeed)
 		g.BeginEpisode(epSeed)
 		var buf []Transition
 		chooser := PolicyChooser(env, g)

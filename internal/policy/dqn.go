@@ -33,6 +33,9 @@ type DQN struct {
 	// their random initialization and the greedy policy exploits them —
 	// the standard offline-RL overestimation failure.
 	CQLAlpha float64
+	// Env builds the training environments; nil means the sequential
+	// engine. Install shard.Builder(k) to train on the sharded engine.
+	Env sim.EnvBuilder
 
 	// Workers bounds the goroutines used for batched Q-network inference
 	// and parallel demonstration rollouts; <= 0 means GOMAXPROCS. Any value
@@ -171,7 +174,7 @@ func (d *DQN) chooseFromQ(obs sim.Observation, qs []float64, eps float64) int {
 // ε-greedy draws then consume d.src serially in vacant order — the same
 // draw sequence as a per-taxi loop, so output is byte-identical for any
 // worker count.
-func (d *DQN) Act(env *sim.Env, vacant []int) map[int]sim.Action {
+func (d *DQN) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 	actions := make(map[int]sim.Action, len(vacant))
 	obs := make([]sim.Observation, len(vacant))
 	rows := make([][]float64, len(vacant))
@@ -277,7 +280,7 @@ func (d *DQN) Pretrain(city *synth.City, guide Policy, episodes, days int, seed 
 // consumed; the completed run is byte-identical to an unbroken one.
 func (d *DQN) PretrainCheckpointed(city *synth.City, guide Policy, episodes, days int, seed int64, opts checkpoint.TrainOptions) error {
 	from := d.demoDone
-	bufs := CollectDemosFrom(city, guide, from, episodes, days, seed, d.Workers, d.Alpha, d.Gamma)
+	bufs := CollectDemosFrom(d.Env, city, guide, from, episodes, days, seed, d.Workers, d.Alpha, d.Gamma)
 	for i, buf := range bufs {
 		ep := from + i
 		// Restore d.src exactly where the serial loop left it: reset at the
@@ -313,7 +316,7 @@ func (d *DQN) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 // TrainCheckpointed is Train with a checkpoint cadence.
 func (d *DQN) TrainCheckpointed(city *synth.City, episodes, days int, seed int64, opts checkpoint.TrainOptions) (TrainStats, error) {
 	stats := TrainStats{Episodes: episodes}
-	env := sim.New(city, sim.DefaultOptions(days), seed)
+	env := sim.BuildEnv(d.Env, city, sim.DefaultOptions(days), seed)
 	for ep := d.epDone; ep < episodes; ep++ {
 		epSeed := seed + int64(ep)
 		env.Reset(epSeed)

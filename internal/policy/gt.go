@@ -64,7 +64,7 @@ func (g *GroundTruth) driverSavvy(fleet int) []float64 {
 }
 
 // Act implements Policy.
-func (g *GroundTruth) Act(env *sim.Env, vacant []int) map[int]sim.Action {
+func (g *GroundTruth) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 	actions := make(map[int]sim.Action, len(vacant))
 	tariff := env.City().Tariff
 	band := tariff.BandAt(env.Now())
@@ -94,7 +94,7 @@ func (g *GroundTruth) Act(env *sim.Env, vacant []int) map[int]sim.Action {
 
 // pickStation chooses a station rank. Savvy drivers weight the nearest
 // stations by free capacity; unsavvy ones take the nearest regardless.
-func (g *GroundTruth) pickStation(env *sim.Env, id int, savvy float64) int {
+func (g *GroundTruth) pickStation(env sim.Environment, id int, savvy float64) int {
 	// Even savvy drivers only sometimes know the live occupancy; most of
 	// the time everyone defaults to the nearest station, which is what
 	// crowds popular stations during the cheap bands (Fig. 4) and gives
@@ -121,7 +121,7 @@ func (g *GroundTruth) pickStation(env *sim.Env, id int, savvy float64) int {
 
 // pickNeighbor chooses a move target. Savvy drivers know the busiest
 // neighbor; the rest wander at random.
-func (g *GroundTruth) pickNeighbor(env *sim.Env, id int, savvy float64) int {
+func (g *GroundTruth) pickNeighbor(env sim.Environment, id int, savvy float64) int {
 	nbs := env.City().Partition.Region(env.TaxiRegion(id)).Neighbors
 	n := len(nbs)
 	if n > sim.MaxNeighbors {
@@ -145,7 +145,7 @@ func (g *GroundTruth) pickNeighbor(env *sim.Env, id int, savvy float64) int {
 // The folk prior is why GT drivers hold famous hotspots at 3 a.m. while
 // demand is elsewhere — the long pre-dawn cruises FairMove removes in
 // Fig. 11.
-func (g *GroundTruth) perceivedDemand(env *sim.Env, region int, savvy float64) float64 {
+func (g *GroundTruth) perceivedDemand(env sim.Environment, region int, savvy float64) float64 {
 	m := env.City().Demand
 	folk := m.Profile(region).BasePerHour * m.Scale / 60 * float64(env.SlotLen())
 	truth := m.ExpectedSlotDemand(region, env.Now(), env.SlotLen())
@@ -154,13 +154,13 @@ func (g *GroundTruth) perceivedDemand(env *sim.Env, region int, savvy float64) f
 }
 
 // lowLocalDemand reports whether the driver believes their region is dead.
-func (g *GroundTruth) lowLocalDemand(env *sim.Env, id int, savvy float64) bool {
+func (g *GroundTruth) lowLocalDemand(env sim.Environment, id int, savvy float64) bool {
 	return g.perceivedDemand(env, env.TaxiRegion(id), savvy) < 0.5
 }
 
 // busiestNeighbor returns the index of the adjacent region the driver
 // believes is busiest.
-func (g *GroundTruth) busiestNeighbor(env *sim.Env, id int, savvy float64) int {
+func (g *GroundTruth) busiestNeighbor(env sim.Environment, id int, savvy float64) int {
 	region := env.TaxiRegion(id)
 	nbs := env.City().Partition.Region(region).Neighbors
 	best, bestV := 0, -1.0

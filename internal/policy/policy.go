@@ -17,7 +17,7 @@ type Policy interface {
 	// Act returns actions for the given vacant taxis. Missing entries
 	// default to Stay. Implementations must respect the environment's
 	// action mask; violations are coerced and counted.
-	Act(env *sim.Env, vacant []int) map[int]sim.Action
+	Act(env sim.Environment, vacant []int) map[int]sim.Action
 	// BeginEpisode resets any per-episode state (e.g. exploration).
 	BeginEpisode(seed int64)
 }
@@ -34,7 +34,7 @@ const RewardScale = 0.01
 // is a shared constant no single action controls, and feeding it raw drowns
 // the per-agent credit signal (it grows to hundreds while a slot's profit
 // term is O(10)). pfDelta is passed in so callers evaluate it once per slot.
-func SlotReward(env *sim.Env, id int, alpha, pfDelta float64) float64 {
+func SlotReward(env sim.Environment, id int, alpha, pfDelta float64) float64 {
 	slotHours := float64(env.SlotLen()) / 60
 	pe := env.SlotProfit(id) / slotHours
 	return (alpha*pe - (1-alpha)*pfDelta) * RewardScale
@@ -67,7 +67,7 @@ type Chooser func(id int, obs sim.Observation) int
 // decision (or at the horizon, marked Terminal). Rewards earned in the
 // intervening slots — fares collected, charging costs paid, and the fleet
 // fairness term — are discounted by gamma per slot.
-func RunEpisode(env *sim.Env, choose Chooser, alpha, gamma float64, onTransition func(id int, tr Transition)) (meanReward float64) {
+func RunEpisode(env sim.Environment, choose Chooser, alpha, gamma float64, onTransition func(id int, tr Transition)) (meanReward float64) {
 	type pending struct {
 		obs     sim.Observation
 		action  int
@@ -155,7 +155,7 @@ func RunEpisode(env *sim.Env, choose Chooser, alpha, gamma float64, onTransition
 // fall back to the first valid index. It is how demonstration episodes
 // (e.g. ground-truth driver behavior) are fed to off-policy learners as a
 // warm start before on-policy fine-tuning.
-func PolicyChooser(env *sim.Env, pol Policy) Chooser {
+func PolicyChooser(env sim.Environment, pol Policy) Chooser {
 	slot := -1
 	var acts map[int]sim.Action
 	return func(id int, obs sim.Observation) int {
@@ -182,7 +182,7 @@ func PolicyChooser(env *sim.Env, pol Policy) Chooser {
 // Evaluate runs policy p over a fresh environment seeded with seed and
 // returns the accounting. All strategies in the evaluation are compared on
 // the same (city, seed) pair, hence on an identical demand realization.
-func Evaluate(p Policy, env *sim.Env, seed int64) *sim.Results {
+func Evaluate(p Policy, env sim.Environment, seed int64) *sim.Results {
 	env.Reset(seed)
 	p.BeginEpisode(seed)
 	for !env.Done() {

@@ -22,7 +22,7 @@ func (s *SD2) Name() string { return "SD2" }
 func (s *SD2) BeginEpisode(int64) {}
 
 // Act implements Policy.
-func (s *SD2) Act(env *sim.Env, vacant []int) map[int]sim.Action {
+func (s *SD2) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 	city := env.City()
 	n := city.Partition.Len()
 	now := env.Now()

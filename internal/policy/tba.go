@@ -19,6 +19,9 @@ type TBA struct {
 	Gamma  float64
 	LR     float64
 	Hidden []int
+	// Env builds the training environments; nil means the sequential
+	// engine. Install shard.Builder(k) to train on the sharded engine.
+	Env sim.EnvBuilder
 	// Workers bounds the goroutines for batched actor inference and
 	// parallel demonstration rollouts; <= 0 means GOMAXPROCS. Results are
 	// byte-identical for any value.
@@ -91,7 +94,7 @@ func (t *TBA) sample(obs sim.Observation) int {
 // Workers, and sampling then consumes t.src serially in vacant order — the
 // same draw sequence as a per-taxi loop, so output is byte-identical for
 // any worker count.
-func (t *TBA) Act(env *sim.Env, vacant []int) map[int]sim.Action {
+func (t *TBA) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 	actions := make(map[int]sim.Action, len(vacant))
 	obs := make([]sim.Observation, len(vacant))
 	rows := make([][]float64, len(vacant))
@@ -125,7 +128,7 @@ func (t *TBA) Pretrain(city *synth.City, guide Policy, episodes, days int, seed 
 // the demonstration episodes a loaded checkpoint already consumed.
 func (t *TBA) PretrainCheckpointed(city *synth.City, guide Policy, episodes, days int, seed int64, opts checkpoint.TrainOptions) error {
 	from := t.demoDone
-	bufs := CollectDemosFrom(city, guide, from, episodes, days, seed, t.Workers, 1.0, t.Gamma)
+	bufs := CollectDemosFrom(t.Env, city, guide, from, episodes, days, seed, t.Workers, 1.0, t.Gamma)
 	for i, batch := range bufs {
 		ep := from + i
 		t.BeginEpisode(DemoEpisodeSeed(seed, ep))
@@ -170,7 +173,7 @@ func (t *TBA) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 // TrainCheckpointed is Train with a checkpoint cadence.
 func (t *TBA) TrainCheckpointed(city *synth.City, episodes, days int, seed int64, opts checkpoint.TrainOptions) (TrainStats, error) {
 	stats := TrainStats{Episodes: episodes}
-	env := sim.New(city, sim.DefaultOptions(days), seed)
+	env := sim.BuildEnv(t.Env, city, sim.DefaultOptions(days), seed)
 
 	// Gentle fine-tuning after a warm start (see FairMove.Train): REINFORCE
 	// returns are noisy, so polish rather than overwrite the demonstrated

@@ -22,6 +22,9 @@ type TQL struct {
 	LR       float64 // Q-table learning rate
 	Epsilon  float64 // exploration rate during training
 	TimeBins int     // time-of-day buckets (default 24)
+	// Env builds the training environments; nil means the sequential
+	// engine. Install shard.Builder(k) to train on the sharded engine.
+	Env sim.EnvBuilder
 
 	q   map[tqlState][sim.NumActions]float64
 	src *rng.Source
@@ -86,7 +89,7 @@ func (t *TQL) Name() string { return "TQL" }
 // BeginEpisode implements Policy.
 func (t *TQL) BeginEpisode(seed int64) { t.src = rng.SplitStable(seed, "tql") }
 
-func (t *TQL) stateOf(env *sim.Env, id int) tqlState {
+func (t *TQL) stateOf(env sim.Environment, id int) tqlState {
 	bins := t.TimeBins
 	if bins <= 0 {
 		bins = 24
@@ -139,7 +142,7 @@ func (t *TQL) maxQ(st tqlState, mask [sim.NumActions]bool) float64 {
 }
 
 // Act implements Policy (greedy over the learned table).
-func (t *TQL) Act(env *sim.Env, vacant []int) map[int]sim.Action {
+func (t *TQL) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 	actions := make(map[int]sim.Action, len(vacant))
 	for _, id := range vacant {
 		st := t.stateOf(env, id)
@@ -167,7 +170,7 @@ func (t *TQL) Pretrain(city *synth.City, guide Policy, episodes, days int, seed 
 // PretrainCheckpointed is Pretrain with a checkpoint cadence, resuming past
 // the demonstration episodes a loaded checkpoint already consumed.
 func (t *TQL) PretrainCheckpointed(city *synth.City, guide Policy, episodes, days int, seed int64, opts checkpoint.TrainOptions) error {
-	env := sim.New(city, sim.DefaultOptions(days), seed)
+	env := sim.BuildEnv(t.Env, city, sim.DefaultOptions(days), seed)
 	for ep := t.demoDone; ep < episodes; ep++ {
 		epSeed := DemoEpisodeSeed(seed, ep)
 		env.Reset(epSeed)
@@ -223,7 +226,7 @@ func (t *TQL) Train(city *synth.City, episodes, days int, seed int64) TrainStats
 // TrainCheckpointed is Train with a checkpoint cadence.
 func (t *TQL) TrainCheckpointed(city *synth.City, episodes, days int, seed int64, opts checkpoint.TrainOptions) (TrainStats, error) {
 	stats := TrainStats{Episodes: episodes}
-	env := sim.New(city, sim.DefaultOptions(days), seed)
+	env := sim.BuildEnv(t.Env, city, sim.DefaultOptions(days), seed)
 	for ep := t.epDone; ep < episodes; ep++ {
 		epSeed := seed + int64(ep)
 		env.Reset(epSeed)

@@ -537,7 +537,7 @@ type nearestOnly struct{ inner policy.Policy }
 
 func (n nearestOnly) Name() string         { return n.inner.Name() + "-NearestOnly" }
 func (n nearestOnly) BeginEpisode(s int64) { n.inner.BeginEpisode(s) }
-func (n nearestOnly) Act(env *sim.Env, v []int) map[int]sim.Action {
+func (n nearestOnly) Act(env sim.Environment, v []int) map[int]sim.Action {
 	acts := n.inner.Act(env, v)
 	for id, a := range acts {
 		if a.Kind == sim.Charge {

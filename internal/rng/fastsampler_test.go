@@ -1,0 +1,151 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// The fast samplers (prefix-sum binary search, Walker alias table) exist for
+// the sharded engine's hot path. Their contract: same marginal distribution
+// as WeightedChoice over the same weights, exactly one uniform consumed per
+// draw, zero-weight entries never drawn.
+
+func TestCumWeightsPrefixSums(t *testing.T) {
+	cum, total := CumWeights([]float64{1, 0, 2, -3, 4})
+	if total != 7 {
+		t.Fatalf("total = %v, want 7 (negatives ignored)", total)
+	}
+	want := []float64{1, 1, 3, 3, 7}
+	for i, c := range cum {
+		if c != want[i] {
+			t.Fatalf("cum[%d] = %v, want %v", i, c, want[i])
+		}
+	}
+}
+
+func TestWeightedChoiceCumMatchesLinearAlmostAlways(t *testing.T) {
+	// The binary search rounds by prefix addition, the linear scan by
+	// repeated subtraction; they may disagree only on rare boundary draws.
+	weights := []float64{0.3, 0, 2.5, 1.1, 0, 0.7, 3.2}
+	cum, total := CumWeights(weights)
+	a, b := New(99), New(99)
+	diverged := 0
+	for i := 0; i < 20000; i++ {
+		if a.WeightedChoice(weights) != b.WeightedChoiceCum(cum, total) {
+			diverged++
+		}
+	}
+	if diverged > 2 {
+		t.Fatalf("linear and prefix-sum samplers diverged on %d of 20000 aligned draws", diverged)
+	}
+}
+
+func TestWeightedChoiceCumNeverDrawsZeroWeight(t *testing.T) {
+	weights := []float64{0, 1, 0, 0, 5, 0}
+	cum, total := CumWeights(weights)
+	src := New(7)
+	for i := 0; i < 5000; i++ {
+		if got := src.WeightedChoiceCum(cum, total); weights[got] == 0 {
+			t.Fatalf("drew zero-weight index %d", got)
+		}
+	}
+}
+
+func TestAliasChoiceDistribution(t *testing.T) {
+	weights := []float64{1, 3, 0, 6}
+	a := NewAlias(weights)
+	src := New(1234)
+	const n = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[src.AliasChoice(a)]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("alias table drew zero-weight index 2 (%d times)", counts[2])
+	}
+	for i, w := range weights {
+		want := w / 10 * n
+		if w == 0 {
+			continue
+		}
+		if math.Abs(float64(counts[i])-want) > 4*math.Sqrt(want) {
+			t.Fatalf("index %d drawn %d times, want ≈%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestAliasChoiceConsumesOneDraw(t *testing.T) {
+	// Stream alignment: interleaving AliasChoice with Float64 must keep two
+	// sources in lockstep when one replaces each AliasChoice with one
+	// Float64 — the kernel's per-region streams rely on the 1:1 accounting.
+	a := NewAlias([]float64{2, 5, 3})
+	s1, s2 := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		s1.AliasChoice(a)
+		s2.Float64()
+		if got, want := s1.Float64(), s2.Float64(); got != want {
+			t.Fatalf("streams out of lockstep after %d draws: %v != %v", i+1, got, want)
+		}
+	}
+}
+
+func TestAliasDegenerateDistributions(t *testing.T) {
+	// All-zero (and all-negative) weights fall back to uniform.
+	src := New(5)
+	for _, ws := range [][]float64{{0, 0, 0}, {-1, -2, -3}} {
+		a := NewAlias(ws)
+		seen := make(map[int]bool)
+		for i := 0; i < 200; i++ {
+			got := src.AliasChoice(a)
+			if got < 0 || got >= len(ws) {
+				t.Fatalf("out-of-range index %d", got)
+			}
+			seen[got] = true
+		}
+		if len(seen) != len(ws) {
+			t.Fatalf("uniform fallback only drew %d of %d indices", len(seen), len(ws))
+		}
+	}
+	// Single entry always wins.
+	one := NewAlias([]float64{0.4})
+	if got := src.AliasChoice(one); got != 0 {
+		t.Fatalf("single-entry table drew %d", got)
+	}
+}
+
+func TestAliasChoiceAlwaysValidProperty(t *testing.T) {
+	src := New(77)
+	f := func(raw []float64, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ws := make([]float64, len(raw))
+		for i, w := range raw {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				w = 0
+			}
+			ws[i] = math.Mod(math.Abs(w), 1e6)
+		}
+		a := NewAlias(ws)
+		for i := 0; i < 50; i++ {
+			got := src.AliasChoice(a)
+			if got < 0 || got >= len(ws) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAliasEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AliasChoice on empty table did not panic")
+		}
+	}()
+	New(1).AliasChoice(NewAlias(nil))
+}

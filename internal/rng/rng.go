@@ -137,6 +137,136 @@ func (s *Source) WeightedChoice(weights []float64) int {
 	return len(weights) - 1
 }
 
+// CumWeights precomputes the prefix sums of weights (negatives treated as
+// zero) for WeightedChoiceCum. The returned total is the sum of the positive
+// weights.
+func CumWeights(weights []float64) (cum []float64, total float64) {
+	cum = make([]float64, len(weights))
+	for i, w := range weights {
+		if w > 0 {
+			total += w
+		}
+		cum[i] = total
+	}
+	return cum, total
+}
+
+// WeightedChoiceCum is WeightedChoice over a precomputed prefix-sum table:
+// O(log n) instead of O(n) for a draw from a fixed distribution. It consumes
+// exactly one uniform draw, the same as WeightedChoice over the underlying
+// weights, so the two keep the stream aligned — but the linear scan
+// accumulates rounding by repeated subtraction while the table rounds by
+// prefix addition, so on rare boundary values the chosen *index* differs.
+// Callers pinned to byte-identical historical traces must keep the linear
+// form. It panics on an empty table.
+func (s *Source) WeightedChoiceCum(cum []float64, total float64) int {
+	if len(cum) == 0 {
+		panic("rng: WeightedChoiceCum with no weights")
+	}
+	if total <= 0 {
+		return s.r.Intn(len(cum))
+	}
+	x := s.r.Float64() * total
+	// Smallest index with cum[i] > x: the strict inequality mirrors the
+	// linear scan's `x - w < 0` rule, and flat spots (zero-weight entries)
+	// can never satisfy it, so the drawn index always has positive weight.
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cum[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Alias is a Walker alias table: an O(1)-per-draw sampler for a fixed
+// discrete distribution. Entry i either keeps its own index (with
+// probability prob[i]) or defers to alias[i].
+type Alias struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAlias builds the alias table for weights (negatives treated as zero).
+// Building is O(n); every subsequent draw costs one uniform and two array
+// reads. A distribution with no positive weight yields a uniform table.
+func NewAlias(weights []float64) Alias {
+	n := len(weights)
+	a := Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if n == 0 {
+		return a
+	}
+	if total <= 0 {
+		for i := range a.prob {
+			a.prob[i] = 1
+			a.alias[i] = int32(i)
+		}
+		return a
+	}
+	// Split indices into under- and over-full relative to the uniform share,
+	// then pair each under-full cell with an over-full donor.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s, l := small[len(small)-1], large[len(large)-1]
+		small = small[:len(small)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	for _, i := range append(small, large...) {
+		a.prob[i] = 1
+		a.alias[i] = int32(i)
+	}
+	return a
+}
+
+// AliasChoice draws an index from the table using exactly one uniform draw.
+// The index *sequence* differs from WeightedChoice/WeightedChoiceCum over
+// the same weights even though the marginal distribution is identical, so
+// callers pinned to historical traces must not switch samplers. It panics
+// on an empty table.
+func (s *Source) AliasChoice(a Alias) int {
+	n := len(a.prob)
+	if n == 0 {
+		panic("rng: AliasChoice with no weights")
+	}
+	u := s.r.Float64() * float64(n)
+	i := int(u)
+	if i >= n { // u == n on the open-interval boundary is impossible, but be safe
+		i = n - 1
+	}
+	if u-float64(i) < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
 

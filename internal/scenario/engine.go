@@ -170,11 +170,19 @@ func ValidateFor(spec *Spec, city *synth.City) error {
 	return nil
 }
 
+// AttachTarget is the environment surface Attach needs: any engine that
+// exposes its city and accepts hooks (both *sim.Env and the sharded
+// shard.Engine qualify).
+type AttachTarget interface {
+	City() *synth.City
+	SetHooks(sim.Hooks)
+}
+
 // Attach validates the spec against the environment's city, compiles it,
 // and installs the engine as the env's hooks. Install before Reset
 // (policy.Evaluate resets internally, so attaching before Evaluate is
 // always safe).
-func Attach(env *sim.Env, spec *Spec) (*Engine, error) {
+func Attach(env AttachTarget, spec *Spec) (*Engine, error) {
 	if err := ValidateFor(spec, env.City()); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,101 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/synth"
+)
+
+// Engine is the region-sharded simulation driver. It embeds the shared
+// sim.Core — which provides the whole read surface of sim.Environment plus
+// Reset — and supplies Step by sequencing the core's phase methods around
+// its serial barriers:
+//
+//	apply actions   (parallel)  ─┐
+//	route migrants  (barrier)    │ taxis retargeted across the cut
+//	generate+match  (parallel)   │ per-region demand and match streams
+//	snapshot loads  (barrier)    │ queue pressure for the slot's replans
+//	per minute:                  │
+//	  run minute    (parallel)   │ calendar + charging sweeps
+//	  route migrants(barrier)    │ balk/replan redirects across the cut
+//	end slot        (parallel)   │ crawl drain, dropoff migrants
+//	route + finish  (barrier)   ─┘ canonical merge, clock advance
+//
+// With shards=1 every phase runs inline on the calling goroutine, so the
+// single-shard engine is also the reference the invariance battery compares
+// higher shard counts against.
+type Engine struct {
+	*sim.Core
+	shards int
+}
+
+// Engine implements the full environment surface.
+var _ sim.Environment = (*Engine)(nil)
+
+// New builds a sharded engine over city with the given shard count (clamped
+// to [1, regions]) and resets it with seed.
+func New(city *synth.City, opts sim.Options, shards int, seed int64) *Engine {
+	owner := Assign(city.Partition, shards)
+	core := sim.NewCore(city, opts, owner, seed)
+	return &Engine{Core: core, shards: core.Shards()}
+}
+
+// Builder returns a sim.EnvBuilder that constructs sharded engines with a
+// fixed shard count — the seam trainers and the system facade use to pick
+// the engine without caring which one they got.
+func Builder(shards int) sim.EnvBuilder {
+	return func(city *synth.City, opts sim.Options, seed int64) sim.Environment {
+		return New(city, opts, shards, seed)
+	}
+}
+
+// Shards returns the number of shards the engine runs.
+func (e *Engine) Shards() int { return e.shards }
+
+// Step applies one displacement action per vacant taxi (missing entries
+// default to Stay) and advances the world by one time slot. It panics if
+// the episode is done.
+func (e *Engine) Step(actions map[int]sim.Action) {
+	if e.Done() {
+		panic("shard: Step after Done")
+	}
+	c := e.Core
+	e.each(func(k int) { c.BeginSlotApply(k, actions) })
+	c.RouteMigrants()
+	e.each(func(k int) { c.GenerateAndMatch(k) })
+	c.SnapshotLoads()
+	start, slotLen := c.Now(), c.SlotLen()
+	for m := start; m < start+slotLen; m++ {
+		e.each(func(k int) { c.RunMinute(k, m) })
+		c.RouteMigrants()
+	}
+	e.each(func(k int) { c.EndSlot(k) })
+	c.RouteMigrants()
+	c.FinishSlot()
+}
+
+// each runs a phase once per kernel, returning only after all finish.
+// Kernels run inline, in order, when single-sharded or when the runtime has
+// a single scheduler thread — phase results are independent of interleaving
+// (that is the invariance battery's whole claim), and on one P the goroutine
+// fan-out is pure barrier overhead. Otherwise it is one goroutine per
+// kernel.
+func (e *Engine) each(f func(k int)) {
+	if e.shards == 1 || runtime.GOMAXPROCS(0) == 1 {
+		for k := 0; k < e.shards; k++ {
+			f(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(e.shards)
+	for k := 0; k < e.shards; k++ {
+		go func(k int) {
+			defer wg.Done()
+			f(k)
+		}(k)
+	}
+	wg.Wait()
+}

@@ -569,12 +569,19 @@ func (e *Env) applyAction(id int, a Action) {
 	}
 }
 
-func (e *Env) hourAt(min int) int { return (min / 60) % 24 }
+func (e *Env) hourAt(min int) int { return hourAt(min) }
+
+// hourAt returns the hour of day of an absolute minute.
+func hourAt(min int) int { return (min / 60) % 24 }
 
 // travelMinutes converts a road distance to whole driving minutes at the
 // traffic speed of minute m, with a one-minute floor.
-func (e *Env) travelMinutes(distKm float64, m int) int {
-	travelMin := int(math.Ceil(distKm / demand.SpeedKmh(e.hourAt(m)) * 60))
+func (e *Env) travelMinutes(distKm float64, m int) int { return travelMinutesAt(distKm, m) }
+
+// travelMinutesAt is the engine-independent travel-time rule; both the
+// sequential Env and the sharded kernel use it.
+func travelMinutesAt(distKm float64, m int) int {
+	travelMin := int(math.Ceil(distKm / demand.SpeedKmh(hourAt(m)) * 60))
 	if travelMin < 1 {
 		travelMin = 1
 	}
@@ -586,7 +593,9 @@ func geoDistKm(a, b geo.Point) float64 { return geo.Distance(a, b) * demand.Road
 
 // driveTracked consumes energy for km kilometres, accounting the distance
 // and any energy deficit from an empty pack exactly.
-func (e *Env) driveTracked(t *taxi, km float64) {
+func (e *Env) driveTracked(t *taxi, km float64) { driveTracked(t, km) }
+
+func driveTracked(t *taxi, km float64) {
 	if km <= 0 {
 		return
 	}
@@ -600,7 +609,9 @@ func (e *Env) driveTracked(t *taxi, km float64) {
 
 // flushCruise closes the open cruise (seek-time) segment of a vacant taxi
 // at minute m. Time only; crawl energy accrues via accrueCrawl.
-func (e *Env) flushCruise(t *taxi, m int) {
+func (e *Env) flushCruise(t *taxi, m int) { flushCruise(t, m) }
+
+func flushCruise(t *taxi, m int) {
 	if mins := float64(m - t.vacantSinceMin); mins > 0 {
 		t.acct.CruiseMin += mins
 	}
@@ -609,7 +620,9 @@ func (e *Env) flushCruise(t *taxi, m int) {
 
 // accrueCrawl charges the crawl energy of a vacant taxi for the interval
 // since the last accrual up to minute m.
-func (e *Env) accrueCrawl(t *taxi, m int) {
+func (e *Env) accrueCrawl(t *taxi, m int) { accrueCrawl(t, m, e.opts.CruiseSpeedKmh) }
+
+func accrueCrawl(t *taxi, m int, cruiseSpeedKmh float64) {
 	mins := float64(m - t.crawlFromMin)
 	if mins <= 0 {
 		return
@@ -618,7 +631,7 @@ func (e *Env) accrueCrawl(t *taxi, m int) {
 	if t.batt.Empty() {
 		t.acct.StrandedMin += mins
 	}
-	e.driveTracked(t, mins/60*e.opts.CruiseSpeedKmh)
+	driveTracked(t, mins/60*cruiseSpeedKmh)
 }
 
 // matchRequests assigns waiting requests to cruising taxis in the same

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"repro/internal/geo"
+	"repro/internal/station"
+	"repro/internal/synth"
+	"repro/internal/telemetry"
+)
+
+// Environment is the simulation surface policies and harnesses run against.
+// Two engines implement it: the original sequential *Env (the byte-compat
+// reference whose behavior the golden traces pin) and the region-sharded
+// shard.Engine (kernel.go provides its pure state-transition core). Every
+// method is single-goroutine: callers interleave reads and Step from one
+// goroutine, exactly as with *Env.
+type Environment interface {
+	// City returns the underlying synthetic city.
+	City() *synth.City
+	// Now returns the current absolute simulation minute.
+	Now() int
+	// Slot returns the current absolute slot index.
+	Slot() int
+	// SlotLen returns the slot length in minutes.
+	SlotLen() int
+	// Done reports whether the horizon has been reached.
+	Done() bool
+	// Reset restores the initial fleet and clears all accounting.
+	Reset(seed int64)
+	// Step applies one displacement action per vacant taxi (missing entries
+	// default to Stay) and advances the world by one time slot.
+	Step(actions map[int]Action)
+
+	// VacantTaxis returns the IDs of taxis awaiting a displacement decision
+	// this slot, ascending.
+	VacantTaxis() []int
+	// Observe builds the observation for a vacant taxi.
+	Observe(id int) Observation
+	// ValidMask returns the action-validity mask for a taxi.
+	ValidMask(id int) [NumActions]bool
+	// TaxiRegion returns the current region of a taxi.
+	TaxiRegion(id int) int
+	// TaxiSoC returns the current state of charge of a taxi.
+	TaxiSoC(id int) float64
+	// TaxiState returns the state of a taxi.
+	TaxiState(id int) TaxiState
+	// NearStations returns the cached KStations nearest stations for a region.
+	NearStations(region int) []geo.Neighbor
+	// StationState returns the runtime state of a station (read-only use).
+	StationState(id int) *station.State
+	// SlotProfit returns the net CNY earned by taxi id during the last Step.
+	SlotProfit(id int) float64
+	// PESoFar returns taxi id's cumulative profit efficiency (CNY/h).
+	PESoFar(id int) float64
+	// FleetPEStats returns the mean and variance of the cumulative PE across
+	// on-duty taxis.
+	FleetPEStats() (mean, variance float64)
+	// Results returns the accounting of the run.
+	Results() *Results
+	// InvalidActions returns how many submitted actions were mask-coerced.
+	InvalidActions() int
+
+	// SetHooks installs (or, with nil, removes) a perturbation engine.
+	SetHooks(h Hooks)
+	// Hooks returns the installed perturbation engine, or nil.
+	Hooks() Hooks
+	// SetRecorder installs (or, with nil, removes) the event recorder.
+	SetRecorder(r Recorder)
+	// SetTelemetry installs (or, with nil, removes) a metrics registry.
+	SetTelemetry(r *telemetry.Registry)
+}
+
+// Both engines must satisfy the full surface.
+var _ Environment = (*Env)(nil)
+
+// EnvBuilder constructs a fresh Environment over a city — the seam through
+// which trainers and the system facade choose an engine (sequential vs
+// sharded) without the call sites caring. NewEnvBuilder is the default.
+type EnvBuilder func(city *synth.City, opts Options, seed int64) Environment
+
+// NewEnvBuilder is the EnvBuilder for the original sequential engine.
+func NewEnvBuilder(city *synth.City, opts Options, seed int64) Environment {
+	return New(city, opts, seed)
+}
+
+// BuildEnv invokes b, defaulting a nil builder to the sequential engine —
+// the resolution rule every trainer applies to its optional Env field.
+func BuildEnv(b EnvBuilder, city *synth.City, opts Options, seed int64) Environment {
+	if b == nil {
+		return New(city, opts, seed)
+	}
+	return b(city, opts, seed)
+}

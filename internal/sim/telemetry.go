@@ -29,12 +29,17 @@ type simTel struct {
 // every episode run on this environment. Telemetry is strictly write-only
 // from the simulation's perspective: nothing in the environment reads a
 // counter back, so enabling it cannot perturb the trajectory or RNG streams.
-func (e *Env) SetTelemetry(r *telemetry.Registry) {
+func (e *Env) SetTelemetry(r *telemetry.Registry) { e.tel = newSimTel(r) }
+
+// newSimTel resolves the simulation's handles against a registry (nil
+// registry yields all-nil handles, which no-op). Both engines — the
+// sequential Env and the sharded Core — use the same handle set, so their
+// deterministic counters are directly comparable.
+func newSimTel(r *telemetry.Registry) simTel {
 	if r == nil {
-		e.tel = simTel{}
-		return
+		return simTel{}
 	}
-	e.tel = simTel{
+	return simTel{
 		matches:        r.Counter("sim.matches"),
 		abandonments:   r.Counter("sim.abandonments"),
 		balks:          r.Counter("sim.balks"),

@@ -83,6 +83,21 @@ func FullScaleConfig(seed int64) Config {
 	}
 }
 
+// MegaScaleConfig returns a 10× extrapolation of the paper's fleet over the
+// same region inventory — the `-benchscale=mega` tier that exists to show
+// the sharded engine's event-calendar scaling headroom beyond the paper
+// (the report bundle is never run at this size, only engine stepping).
+func MegaScaleConfig(seed int64) Config {
+	return Config{
+		Seed:        seed,
+		Regions:     491,
+		Stations:    123,
+		Fleet:       201300,
+		TripsPerDay: 10 * 23_200_000 / 31,
+		SlotMinutes: 10,
+	}
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.Regions < 4 {
