@@ -10,12 +10,12 @@ GO ?= go
 # the sharded-engine driver — the packages whose tests ARE the regression
 # harness (golden digests, fuzz corpora, shard-invariance battery):
 # uncovered code there is unpinned behavior.
-COVER_PKGS = ./internal/scenario/ ./internal/trace/ ./internal/checkpoint/ ./internal/shard/
+COVER_PKGS = ./internal/scenario/ ./internal/trace/ ./internal/checkpoint/ ./internal/shard/ ./internal/invariant/
 COVER_FLOOR = 70
 
-.PHONY: ci vet build test race cover smoke resume-smoke shard-smoke bench-record fuzz bench
+.PHONY: ci vet build test race cover smoke resume-smoke shard-smoke battery fuzz-battery bench-record fuzz bench
 
-ci: vet build test race cover smoke resume-smoke shard-smoke
+ci: vet build test race cover smoke resume-smoke shard-smoke battery
 
 vet:
 	$(GO) vet ./...
@@ -28,8 +28,11 @@ test:
 
 # Short tier under the race detector: fast tests plus the worker-invariance
 # determinism tests, which fan training and evaluation across goroutines.
+# Explicit -timeout: race instrumentation is ~10-20x on the training loops,
+# which puts the root package near go's default 10m per-package limit on a
+# single-core CI host.
 race:
-	$(GO) test -short -race ./...
+	$(GO) test -short -race -timeout 1800s ./...
 
 # Enforce the coverage floor per package (committed fuzz seed corpora run
 # as ordinary test cases here, so short mode still replays them).
@@ -69,10 +72,24 @@ resume-smoke:
 	@rm -rf /tmp/fairmove-resume-smoke
 	@echo "resume-smoke: resumed run byte-identical to unbroken run"
 
+# Property-based robustness battery: 64 random fault compositions from the
+# full scenario zoo, each run on the sequential engine and the sharded
+# engine at shards=1 and 4, every invariant checked, shard-ladder digests
+# byte-compared. Fixed seed, so the CI tier is deterministic.
+battery:
+	$(GO) test -short -run TestRobustnessBattery ./internal/invariant/
+
+# Time-boxed deep battery (not part of ci): fuzz the scenario generator
+# beyond its corpus, then quadruple the random-composition count.
+fuzz-battery:
+	$(GO) test ./internal/scenario/ -fuzz FuzzGenerate -fuzztime 30s
+	$(GO) test -run TestRobustnessBattery -battery-n 256 -timeout 1800s ./internal/invariant/
+
 # Explore the fuzz targets beyond the committed corpora (not part of ci;
 # run locally when touching the parser or codec).
 fuzz:
 	$(GO) test ./internal/scenario/ -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/scenario/ -fuzz FuzzGenerate -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzDecodeEvents -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzEventRoundTrip -fuzztime 30s
 	$(GO) test ./internal/checkpoint/ -fuzz FuzzDecode -fuzztime 30s
@@ -91,3 +108,4 @@ shard-smoke:
 # ci: the full tier steps the paper's 20,130-taxi fleet for ~2 minutes.
 bench-record:
 	$(GO) test -run TestRecordShardingBench -recordbench -timeout 1800s .
+	$(GO) test -run TestRecordBatteryBench -recordbench -timeout 1800s .

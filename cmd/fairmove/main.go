@@ -238,6 +238,8 @@ func cmdEval(args []string) error {
 	}
 	fmt.Printf("%s: meanPE=%.2f medianPE=%.2f PF=%.2f gini=%.3f\n",
 		rep.Method, rep.MeanPE, rep.MedianPE, rep.PF, rep.GiniPE)
+	fmt.Printf("  F_spatial=%.3f giniDSR=%.3f floorDSR=%.3f\n",
+		rep.FSpatial, rep.GiniDSR, rep.FloorDSR)
 	fmt.Printf("  served=%d unserved=%d profit=%.0f CNY charges=%d\n",
 		rep.ServedRequests, rep.UnservedRequests, rep.FleetProfitCNY, rep.ChargeEvents)
 	fmt.Printf("  median cruise=%.1f min, median idle=%.1f min\n",
@@ -273,10 +275,10 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-10s %8s %8s %8s %8s %8s %9s\n", "method", "PRCT", "PRIT", "PIPE", "PIPF", "meanPE", "PF")
+	fmt.Printf("%-10s %8s %8s %8s %8s %8s %9s %9s\n", "method", "PRCT", "PRIT", "PIPE", "PIPF", "meanPE", "PF", "F_spatial")
 	for _, c := range cmps {
-		fmt.Printf("%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.2f %9.2f\n",
-			c.Method, c.PRCT, c.PRIT, c.PIPE, c.PIPF, c.MeanPE, c.PF)
+		fmt.Printf("%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.2f %9.2f %9.3f\n",
+			c.Method, c.PRCT, c.PRIT, c.PIPE, c.PIPF, c.MeanPE, c.PF, c.FSpatial)
 	}
 	return nil
 }

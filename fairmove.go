@@ -449,6 +449,10 @@ type EvalReport struct {
 	UnservedRequests int
 	FleetProfitCNY   float64
 	ChargeEvents     int
+	// Spatial fairness of service across regions.
+	FSpatial float64 // 1 − Gini of per-region demand-service ratio
+	GiniDSR  float64
+	FloorDSR float64 // worst region's demand-service ratio (NaN when no demand)
 }
 
 // Evaluate runs one strategy on the configured horizon. All methods are
@@ -481,6 +485,9 @@ func evalReport(m Method, res *sim.Results) EvalReport {
 		UnservedRequests: res.UnservedRequests,
 		FleetProfitCNY:   res.FleetProfit(),
 		ChargeEvents:     len(res.ChargeStats),
+		FSpatial:         metrics.SpatialFairness(res),
+		GiniDSR:          metrics.GiniDSR(res),
+		FloorDSR:         metrics.AccessibilityFloor(res),
 	}
 	r.MedianPE, _ = stats.Median(res.PEs())
 	r.MedianCruiseMin, _ = stats.Median(res.CruiseTimes())

@@ -1,0 +1,155 @@
+package checkpoint
+
+// Filesystem edge cases for the directory-level API: resume over empty or
+// poisoned directories, retention at the keep boundaries, and save into a
+// directory that cannot be written.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLatestEmptyDir(t *testing.T) {
+	_, _, err := Latest(t.TempDir())
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestLatestNonexistentDir(t *testing.T) {
+	_, _, err := Latest(filepath.Join(t.TempDir(), "never-created"))
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// A directory holding only corrupt checkpoint files must report "nothing to
+// resume from" rather than an opaque decode error — resume then starts clean.
+func TestLatestCorruptOnlyDir(t *testing.T) {
+	dir := t.TempDir()
+	for i, junk := range []string{"", "not a checkpoint", "FMCK\x00truncated"} {
+		path := filepath.Join(dir, FileName(PhaseTrain, i))
+		if err := os.WriteFile(path, []byte(junk), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := Latest(dir)
+	if !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("corrupt-only dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// A corrupt newest file must not mask an older valid checkpoint.
+func TestLatestSkipsCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	src := newStub()
+	src.ep = 1
+	good := filepath.Join(dir, FileName(PhaseTrain, 1))
+	if err := WriteFile(good, src); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, FileName(PhaseTrain, 2))
+	if err := os.WriteFile(torn, []byte("FMCK torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path, meta, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != good || meta.Episode != 1 {
+		t.Fatalf("Latest = %s (ep %d), want the older valid %s", path, meta.Episode, good)
+	}
+}
+
+func writeN(t *testing.T, dir string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		src := newStub()
+		src.ep = i
+		if err := WriteFile(filepath.Join(dir, FileName(PhaseTrain, i)), src); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func countCkpts(t *testing.T, dir string) int {
+	t.Helper()
+	names, err := checkpointFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(names)
+}
+
+// keep <= 0 means DefaultKeep, not "delete everything": the zero value of a
+// config struct must never be an accidental wipe.
+func TestPruneKeepZeroMeansDefault(t *testing.T) {
+	dir := t.TempDir()
+	writeN(t, dir, DefaultKeep+4)
+	if err := Prune(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := countCkpts(t, dir); got != DefaultKeep {
+		t.Fatalf("keep=0 left %d checkpoints, want DefaultKeep=%d", got, DefaultKeep)
+	}
+	// The survivors must be the newest ones.
+	_, meta, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := DefaultKeep + 3; meta.Episode != want {
+		t.Fatalf("newest survivor episode %d, want %d", meta.Episode, want)
+	}
+}
+
+func TestPruneKeepExceedsCount(t *testing.T) {
+	dir := t.TempDir()
+	writeN(t, dir, 2)
+	if err := Prune(dir, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := countCkpts(t, dir); got != 2 {
+		t.Fatalf("keep>count removed files: %d left, want 2", got)
+	}
+}
+
+func TestPruneExactBoundary(t *testing.T) {
+	dir := t.TempDir()
+	writeN(t, dir, 5)
+	if err := Prune(dir, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := countCkpts(t, dir); got != 5 {
+		t.Fatalf("keep==count removed files: %d left, want 5", got)
+	}
+}
+
+// SaveDir into an unwritable directory must surface the OS error, not panic
+// or silently drop the checkpoint.
+func TestSaveDirReadOnly(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("root ignores directory write bits")
+	}
+	dir := filepath.Join(t.TempDir(), "ro")
+	if err := os.Mkdir(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chmod(dir, 0o755) })
+	if _, err := SaveDir(dir, newStub(), 3); err == nil {
+		t.Fatal("SaveDir into a read-only dir succeeded")
+	}
+}
+
+// SaveDir where the directory path collides with an existing file must fail
+// cleanly from MkdirAll.
+func TestSaveDirPathIsFile(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SaveDir(file, newStub(), 3); err == nil {
+		t.Fatal("SaveDir over a file path succeeded")
+	}
+}

@@ -122,6 +122,10 @@ type Comparison struct {
 	ServedRequests   int
 	UnservedRequests int
 	GiniPE           float64
+	// Spatial fairness of service across regions (see spatial.go).
+	FSpatial float64
+	GiniDSR  float64
+	FloorDSR float64
 }
 
 // Compare computes a full Comparison of strategy results d (named name)
@@ -138,6 +142,9 @@ func Compare(name string, g, d *sim.Results) Comparison {
 		ServedRequests:   d.ServedRequests,
 		UnservedRequests: d.UnservedRequests,
 		GiniPE:           stats.Gini(d.PEs()),
+		FSpatial:         SpatialFairness(d),
+		GiniDSR:          GiniDSR(d),
+		FloorDSR:         AccessibilityFloor(d),
 	}
 	c.MedianCruise, _ = stats.Median(d.CruiseTimes())
 	c.MedianIdle, _ = stats.Median(d.IdleTimes())
@@ -146,6 +153,6 @@ func Compare(name string, g, d *sim.Results) Comparison {
 
 // String renders the comparison as one report row.
 func (c Comparison) String() string {
-	return fmt.Sprintf("%-10s PRCT=%6.1f%% PRIT=%6.1f%% PIPE=%6.1f%% PIPF=%6.1f%% meanPE=%6.2f PF=%7.2f",
-		c.Name, c.PRCT, c.PRIT, c.PIPE, c.PIPF, c.MeanPE, c.PF)
+	return fmt.Sprintf("%-10s PRCT=%6.1f%% PRIT=%6.1f%% PIPE=%6.1f%% PIPF=%6.1f%% meanPE=%6.2f PF=%7.2f Fsp=%5.3f",
+		c.Name, c.PRCT, c.PRIT, c.PIPE, c.PIPF, c.MeanPE, c.PF, c.FSpatial)
 }

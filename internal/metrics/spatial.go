@@ -1,0 +1,64 @@
+package metrics
+
+// Spatial-fairness analytics: the displacement policy's objective is not
+// only that drivers earn equally (PF over per-taxi PE) but that riders are
+// served equally wherever they request — remote regions must not be
+// starved because displacement concentrates supply downtown. These metrics
+// reduce the per-region demand/served tallies the engines record to a
+// demand-service ratio distribution and summarize its equity.
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RegionDSR returns the demand-service ratio (served/demanded) of every
+// region with nonzero demand. Regions that saw no demand carry no service
+// signal and are skipped rather than counted as 0 or 1. Returns nil when
+// the results predate the spatial tallies.
+func RegionDSR(r *sim.Results) []float64 {
+	if r.RegionDemand == nil || r.RegionServed == nil {
+		return nil
+	}
+	out := make([]float64, 0, len(r.RegionDemand))
+	for i, d := range r.RegionDemand {
+		if d > 0 {
+			out = append(out, float64(r.RegionServed[i])/float64(d))
+		}
+	}
+	return out
+}
+
+// GiniDSR returns the Gini coefficient of the demand-service ratio across
+// regions with demand: 0 when every region is served at the same rate.
+func GiniDSR(r *sim.Results) float64 { return stats.Gini(RegionDSR(r)) }
+
+// SpatialFairness returns F_spatial = 1 − GiniDSR: 1 is perfectly even
+// service across regions, lower is more spatially concentrated. NaN-free:
+// no demand anywhere yields 1 (vacuously fair).
+func SpatialFairness(r *sim.Results) float64 {
+	dsr := RegionDSR(r)
+	if len(dsr) == 0 {
+		return 1
+	}
+	return 1 - stats.Gini(dsr)
+}
+
+// AccessibilityFloor returns the worst region's demand-service ratio — the
+// floor the fairness-aware displacement is meant to lift. No demand
+// anywhere yields NaN so callers cannot mistake "no signal" for "perfect".
+func AccessibilityFloor(r *sim.Results) float64 {
+	dsr := RegionDSR(r)
+	if len(dsr) == 0 {
+		return math.NaN()
+	}
+	floor := dsr[0]
+	for _, v := range dsr[1:] {
+		if v < floor {
+			floor = v
+		}
+	}
+	return floor
+}

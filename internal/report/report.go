@@ -437,8 +437,9 @@ func (b *Bundle) FormatScenarioDeltas() string {
 			clean := b.Results[m]
 			pe, pf := metrics.FleetPE(res), metrics.ProfitFairness(res)
 			cpe, cpf := metrics.FleetPE(clean), metrics.ProfitFairness(clean)
-			fmt.Fprintf(&sb, "    %-10s PE %8.2f (%+6.1f%%)   PF %10.2f (%+6.1f%%)\n",
-				m, pe, pctDelta(cpe, pe), pf, pctDelta(cpf, pf))
+			fsp, cfsp := metrics.SpatialFairness(res), metrics.SpatialFairness(clean)
+			fmt.Fprintf(&sb, "    %-10s PE %8.2f (%+6.1f%%)   PF %10.2f (%+6.1f%%)   Fsp %5.3f (%+6.1f%%)\n",
+				m, pe, pctDelta(cpe, pe), pf, pctDelta(cpf, pf), fsp, pctDelta(cfsp, fsp))
 		}
 	}
 	return sb.String()

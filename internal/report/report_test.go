@@ -156,13 +156,42 @@ func TestRunScenariosProducesGrid(t *testing.T) {
 		}
 	}
 	out := b.FormatScenarioDeltas()
-	for _, want := range []string{"scenario station-outage", "scenario demand-surge", "FairMove", "PE", "PF"} {
+	for _, want := range []string{"scenario station-outage", "scenario demand-surge", "FairMove", "PE", "PF", "Fsp"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("scenario report missing %q:\n%s", want, out)
 		}
 	}
 	if strings.Contains(out, "%!") {
 		t.Fatalf("scenario report has formatting error:\n%s", out)
+	}
+}
+
+// A scenario from the extended zoo (weather + airport surge) must flow
+// through the grid, and the delta table must carry the spatial-fairness
+// column next to PE/PF for it — the rider-side view of a fault that drags
+// the fleet toward one region.
+func TestRunScenariosExtendedZooSpatialColumn(t *testing.T) {
+	b := bundle(t)
+	storm, err := scenario.NewBuilder("airport-storm").
+		Weather(-1, 6*60, 12*60, 0.7).
+		AirportSurge(0, 6*60, 10*60, 2.5).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RunScenarios([]*scenario.Spec{storm}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.FormatScenarioDeltas()
+	if !strings.Contains(out, "scenario airport-storm") || !strings.Contains(out, "Fsp") {
+		t.Fatalf("extended-zoo scenario missing spatial column:\n%s", out)
+	}
+	if strings.Contains(out, "%!") || strings.Contains(out, "NaN") {
+		t.Fatalf("spatial deltas format badly:\n%s", out)
+	}
+	// The clean-run comparison summary carries F_spatial too.
+	if sum := b.FormatComparisonSummary(); !strings.Contains(sum, "Fsp") {
+		t.Fatalf("comparison summary missing Fsp:\n%s", sum)
 	}
 }
 

@@ -91,6 +91,55 @@ func (b *Builder) BatteryDegradation(mod, rem int, factor float64) *Builder {
 	return b
 }
 
+// Weather slows traffic in a region (negative = citywide) over [from, to):
+// travel speed is multiplied by factor ∈ (0, 1] and demand by 2−factor.
+func (b *Builder) Weather(region, from, to int, factor float64) *Builder {
+	ev := Event{Kind: KindWeather, FromMin: from, ToMin: to, Factor: factor}
+	if region >= 0 {
+		r := region
+		ev.Region = &r
+	}
+	b.spec.Events = append(b.spec.Events, ev)
+	return b
+}
+
+// TariffShift multiplies the citywide charging tariff by factor over
+// [from, to). Billing only: charging power and observations are untouched.
+func (b *Builder) TariffShift(from, to int, factor float64) *Builder {
+	b.spec.Events = append(b.spec.Events, Event{
+		Kind: KindTariffShift, FromMin: from, ToMin: to, Factor: factor,
+	})
+	return b
+}
+
+// BatteryCohort scales energy consumption per km by factor for the cohort
+// of taxis with ID % mod == rem (mod 0 = whole fleet), for the entire run.
+func (b *Builder) BatteryCohort(mod, rem int, factor float64) *Builder {
+	b.spec.Events = append(b.spec.Events, Event{
+		Kind: KindBatteryCohort, Factor: factor, CohortMod: mod, CohortRem: rem,
+	})
+	return b
+}
+
+// ShiftChange takes the cohort of taxis with ID % mod == rem (mod 0 =
+// whole fleet) off duty over [from, to).
+func (b *Builder) ShiftChange(mod, rem, from, to int) *Builder {
+	b.spec.Events = append(b.spec.Events, Event{
+		Kind: KindShiftChange, FromMin: from, ToMin: to, CohortMod: mod, CohortRem: rem,
+	})
+	return b
+}
+
+// AirportSurge multiplies demand and fares in one region by factor over
+// [from, to): a flight-bank arrival wave.
+func (b *Builder) AirportSurge(region, from, to int, factor float64) *Builder {
+	r := region
+	b.spec.Events = append(b.spec.Events, Event{
+		Kind: KindAirportSurge, FromMin: from, ToMin: to, Region: &r, Factor: factor,
+	})
+	return b
+}
+
 // Build validates and normalizes the accumulated spec.
 func (b *Builder) Build() (*Spec, error) {
 	s := b.spec

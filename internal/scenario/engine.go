@@ -21,6 +21,14 @@ import (
 //	fare-shock           factors MULTIPLY
 //	gps-dropout          windows OR
 //	battery-degradation  factors MULTIPLY  (all cohorts containing the taxi)
+//	weather              factors MULTIPLY  (speed × f, demand × 2−f)
+//	tariff-shift         factors MULTIPLY
+//	battery-cohort       factors MULTIPLY  (all cohorts containing the taxi)
+//	shift-change         windows OR
+//	airport-surge        factors MULTIPLY  (demand and fares both × f)
+//
+// Because each kind merges with a commutative, associative operation, the
+// compiled answers are independent of authoring and composition order.
 type Engine struct {
 	spec *Spec
 
@@ -30,6 +38,11 @@ type Engine struct {
 	fares   []regionFactor
 	stale   []regionWindow
 	battery []cohortFactor
+
+	speed       []regionFactor
+	tariffs     []windowFactor
+	consumption []cohortFactor
+	offduty     []cohortWindow
 }
 
 type window struct{ from, to int }
@@ -57,6 +70,20 @@ type cohortFactor struct {
 	factor   float64
 }
 
+type windowFactor struct {
+	window
+	factor float64
+}
+
+type cohortWindow struct {
+	window
+	mod, rem int
+}
+
+// Engine implements the extended tier too: plain-Hooks consumers see the
+// base six methods, extended-aware environments get all ten.
+var _ sim.ExtendedHooks = (*Engine)(nil)
+
 // NewEngine compiles a validated spec. It does not validate indices against
 // a city; use Attach for that.
 func NewEngine(spec *Spec) *Engine {
@@ -81,6 +108,22 @@ func NewEngine(spec *Spec) *Engine {
 			e.stale = append(e.stale, regionWindow{w, ev.RegionID()})
 		case KindBatteryDegradation:
 			e.battery = append(e.battery, cohortFactor{ev.CohortMod, ev.CohortRem, ev.Factor})
+		case KindWeather:
+			// Bad weather couples both axes: driving slows by Factor while
+			// demand rises by the mirrored 2−Factor.
+			e.speed = append(e.speed, regionFactor{w, ev.RegionID(), ev.Factor})
+			e.demand = append(e.demand, regionFactor{w, ev.RegionID(), 2 - ev.Factor})
+		case KindTariffShift:
+			e.tariffs = append(e.tariffs, windowFactor{w, ev.Factor})
+		case KindBatteryCohort:
+			e.consumption = append(e.consumption, cohortFactor{ev.CohortMod, ev.CohortRem, ev.Factor})
+		case KindShiftChange:
+			e.offduty = append(e.offduty, cohortWindow{w, ev.CohortMod, ev.CohortRem})
+		case KindAirportSurge:
+			// A flight bank compiles entirely into the existing demand and
+			// fare schedules: no new sim wiring is needed for it.
+			e.demand = append(e.demand, regionFactor{w, ev.RegionID(), ev.Factor})
+			e.fares = append(e.fares, regionFactor{w, ev.RegionID(), ev.Factor})
 		}
 	}
 	return e
@@ -144,6 +187,47 @@ func (e *Engine) ObsStale(region, minute int) bool {
 func (e *Engine) BatteryFactor(taxi int) float64 {
 	f := 1.0
 	for _, c := range e.battery {
+		if c.mod <= 0 || taxi%c.mod == c.rem {
+			f *= c.factor
+		}
+	}
+	return f
+}
+
+// SpeedScale implements sim.ExtendedHooks: the travel-speed multiplier for
+// a region at a minute (weather events; 1 means clear skies).
+func (e *Engine) SpeedScale(region, minute int) float64 {
+	return productAt(e.speed, region, minute)
+}
+
+// TariffScale implements sim.ExtendedHooks: the citywide charging-price
+// multiplier at a minute (tariff-shift events).
+func (e *Engine) TariffScale(minute int) float64 {
+	f := 1.0
+	for _, wf := range e.tariffs {
+		if wf.covers(minute) {
+			f *= wf.factor
+		}
+	}
+	return f
+}
+
+// OffDuty implements sim.ExtendedHooks: whether a taxi is on a shift
+// change at a minute.
+func (e *Engine) OffDuty(taxi, minute int) bool {
+	for _, cw := range e.offduty {
+		if cw.covers(minute) && (cw.mod <= 0 || taxi%cw.mod == cw.rem) {
+			return true
+		}
+	}
+	return false
+}
+
+// ConsumptionFactor implements sim.ExtendedHooks: the per-taxi multiplier
+// on energy consumption per km (battery-cohort events).
+func (e *Engine) ConsumptionFactor(taxi int) float64 {
+	f := 1.0
+	for _, c := range e.consumption {
 		if c.mod <= 0 || taxi%c.mod == c.rem {
 			f *= c.factor
 		}

@@ -19,6 +19,11 @@ func FuzzParse(f *testing.F) {
 	f.Add([]byte(`{"name":"s","events":[{"kind":"station-outage","from_min":0,"to_min":60,"station":0}]}`))
 	f.Add([]byte(`{"name":"s","events":[{"kind":"demand-scale","from_min":10,"to_min":20,"region":2,"factor":0.5}]}`))
 	f.Add([]byte(`{"name":"s","events":[{"kind":"battery-degradation","factor":0.8,"cohort_mod":2,"cohort_rem":1}]}`))
+	f.Add([]byte(`{"name":"s","events":[{"kind":"weather","from_min":420,"to_min":720,"factor":0.7}]}`))
+	f.Add([]byte(`{"name":"s","events":[{"kind":"tariff-shift","from_min":1020,"to_min":1320,"factor":1.6}]}`))
+	f.Add([]byte(`{"name":"s","events":[{"kind":"battery-cohort","factor":1.15,"cohort_mod":4,"cohort_rem":2}]}`))
+	f.Add([]byte(`{"name":"s","events":[{"kind":"shift-change","from_min":480,"to_min":600,"cohort_mod":3,"cohort_rem":1}]}`))
+	f.Add([]byte(`{"name":"s","events":[{"kind":"airport-surge","from_min":360,"to_min":600,"region":2,"factor":2.5}]}`))
 	f.Add([]byte(`{"name":"s"`))
 	f.Add([]byte(`null`))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// GenConfig bounds the random-scenario generator to a concrete world and a
+// sane severity envelope. The bounds are deliberately survivable: the
+// battery's job is to find invariant violations under stress, not to prove
+// that a city with zero demand and zero chargers grinds to a halt.
+type GenConfig struct {
+	// Stations and Regions are the city's inventory; generated indices stay
+	// in range so ValidateFor never rejects a generated spec.
+	Stations int
+	Regions  int
+	// HorizonMin is the run length in minutes; generated windows stay
+	// inside it so every event can actually fire.
+	HorizonMin int
+	// MaxEvents caps the composition size (0 = the default cap of 6; the
+	// generator always emits at least 2 events so every scenario composes
+	// at least two fault kinds).
+	MaxEvents int
+}
+
+// genKinds is the menu the generator draws from — every kind in the zoo.
+var genKinds = []string{
+	KindStationOutage,
+	KindStationDerate,
+	KindDemandScale,
+	KindFareShock,
+	KindGPSDropout,
+	KindBatteryDegradation,
+	KindWeather,
+	KindTariffShift,
+	KindBatteryCohort,
+	KindShiftChange,
+	KindAirportSurge,
+}
+
+// Generate draws a random scenario composition from src: 2 to MaxEvents
+// events across the full fault zoo, each with bounded severity (at most one
+// station outage of at most three hours, derates of a single point, demand
+// and fare factors within [0.3, 2.5], weather within (0.6, 1], shift
+// changes of at most two hours on a sub-fleet cohort). The result is
+// validated and normalized like any authored spec, so Encode(Generate(...))
+// is canonical and replayable; identical (src state, name, cfg) inputs
+// yield identical specs.
+func Generate(src *rng.Source, name string, cfg GenConfig) (*Spec, error) {
+	if cfg.Stations < 1 || cfg.Regions < 1 {
+		return nil, fmt.Errorf("scenario: Generate needs at least one station and region, got %d/%d",
+			cfg.Stations, cfg.Regions)
+	}
+	if cfg.HorizonMin < 60 {
+		return nil, fmt.Errorf("scenario: Generate needs a horizon of at least 60 minutes, got %d", cfg.HorizonMin)
+	}
+	maxEvents := cfg.MaxEvents
+	if maxEvents <= 0 {
+		maxEvents = 6
+	}
+	if maxEvents < 2 {
+		maxEvents = 2
+	}
+	n := 2
+	if maxEvents > 2 {
+		n += src.Intn(maxEvents - 1)
+	}
+
+	// window draws a half-open window inside the horizon, at most maxDur
+	// minutes long and at least 15 (sub-slot windows are legal but inert
+	// noise for a battery that wants every event to matter).
+	window := func(maxDur int) (from, to int) {
+		dur := 15 + src.Intn(maxDur-14)
+		from = src.Intn(cfg.HorizonMin - 15)
+		to = from + dur
+		if to > cfg.HorizonMin {
+			to = cfg.HorizonMin
+		}
+		return from, to
+	}
+	// regionOrCity picks a concrete region 70% of the time, citywide else.
+	regionOrCity := func() int {
+		if src.Float64() < 0.3 {
+			return -1
+		}
+		return src.Intn(cfg.Regions)
+	}
+	// cohort picks a sub-fleet stride: every 3rd or 4th taxi.
+	cohort := func() (mod, rem int) {
+		mod = 3 + src.Intn(2)
+		return mod, src.Intn(mod)
+	}
+
+	b := NewBuilder(name).Describe("generated composition")
+	usedOutage := false
+	for i := 0; i < n; i++ {
+		kind := genKinds[src.Intn(len(genKinds))]
+		if kind == KindStationOutage && usedOutage {
+			// One dark station per composition keeps scenarios survivable;
+			// redraws would perturb the stream shape, so substitute instead.
+			kind = KindDemandScale
+		}
+		switch kind {
+		case KindStationOutage:
+			usedOutage = true
+			from, to := window(180)
+			b.StationOutage(src.Intn(cfg.Stations), from, to)
+		case KindStationDerate:
+			from, to := window(240)
+			b.StationDerate(src.Intn(cfg.Stations), 1, from, to)
+		case KindDemandScale:
+			from, to := window(360)
+			b.DemandScale(regionOrCity(), from, to, src.Uniform(0.3, 2.5))
+		case KindFareShock:
+			from, to := window(360)
+			b.FareShock(regionOrCity(), from, to, src.Uniform(0.5, 2))
+		case KindGPSDropout:
+			from, to := window(120)
+			b.GPSDropout(regionOrCity(), from, to)
+		case KindBatteryDegradation:
+			mod, rem := cohort()
+			b.BatteryDegradation(mod, rem, src.Uniform(0.7, 1))
+		case KindWeather:
+			from, to := window(300)
+			b.Weather(regionOrCity(), from, to, src.Uniform(0.6, 1))
+		case KindTariffShift:
+			from, to := window(360)
+			b.TariffShift(from, to, src.Uniform(0.5, 2))
+		case KindBatteryCohort:
+			mod, rem := cohort()
+			b.BatteryCohort(mod, rem, src.Uniform(0.8, 1.25))
+		case KindShiftChange:
+			from, to := window(120)
+			mod, rem := cohort()
+			b.ShiftChange(mod, rem, from, to)
+		case KindAirportSurge:
+			from, to := window(240)
+			b.AirportSurge(src.Intn(cfg.Regions), from, to, src.Uniform(1, 3))
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+var genCfg = GenConfig{Stations: 4, Regions: 6, HorizonMin: 1440, MaxEvents: 6}
+
+// Same source state, same name, same config → byte-identical spec.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		a, err := Generate(rng.SplitStable(seed, "gen"), "g", genCfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b, err := Generate(rng.SplitStable(seed, "gen"), "g", genCfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ea, _ := Encode(a)
+		eb, _ := Encode(b)
+		if !bytes.Equal(ea, eb) {
+			t.Fatalf("seed %d: two generations from the same source differ:\n%s\nvs\n%s", seed, ea, eb)
+		}
+	}
+}
+
+// Every generated spec respects the severity envelope: validated, in-range
+// indices, in-horizon windows, at most one outage, 2..MaxEvents events.
+func TestGenerateRespectsBounds(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		s, err := Generate(rng.SplitStable(seed, "bounds"), "g", genCfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(s.Events) < 2 || len(s.Events) > genCfg.MaxEvents {
+			t.Fatalf("seed %d: %d events, want 2..%d", seed, len(s.Events), genCfg.MaxEvents)
+		}
+		outages := 0
+		for i := range s.Events {
+			ev := &s.Events[i]
+			if ev.Kind == KindStationOutage {
+				outages++
+			}
+			if st := ev.StationID(); st >= genCfg.Stations {
+				t.Fatalf("seed %d: station %d out of range", seed, st)
+			}
+			if r := ev.RegionID(); r >= genCfg.Regions {
+				t.Fatalf("seed %d: region %d out of range", seed, r)
+			}
+			if ev.ToMin > genCfg.HorizonMin {
+				t.Fatalf("seed %d: window [%d, %d) leaves the horizon %d", seed, ev.FromMin, ev.ToMin, genCfg.HorizonMin)
+			}
+		}
+		if outages > 1 {
+			t.Fatalf("seed %d: %d outages, want at most 1", seed, outages)
+		}
+	}
+}
+
+func TestGenerateRejectsDegenerateConfigs(t *testing.T) {
+	src := rng.New(1)
+	if _, err := Generate(src, "g", GenConfig{Stations: 0, Regions: 3, HorizonMin: 1440}); err == nil {
+		t.Fatal("accepted a zero-station config")
+	}
+	if _, err := Generate(src, "g", GenConfig{Stations: 3, Regions: 3, HorizonMin: 30}); err == nil {
+		t.Fatal("accepted a sub-hour horizon")
+	}
+}
+
+// FuzzGenerate explores the generator's seed/config space. Properties:
+//
+//  1. Generate never panics and never errors on a legal config.
+//  2. Its output is a valid spec whose canonical encoding is a fixpoint.
+//  3. Reversing the generated events and re-normalizing yields the same
+//     canonical bytes — the generator cannot produce order-sensitive specs.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4), uint16(720))
+	f.Add(int64(42), uint8(1), uint8(1), uint16(60))
+	f.Add(int64(-7), uint8(12), uint8(20), uint16(2880))
+	f.Fuzz(func(t *testing.T, seed int64, stations, regions uint8, horizon uint16) {
+		cfg := GenConfig{
+			Stations:   1 + int(stations)%16,
+			Regions:    1 + int(regions)%32,
+			HorizonMin: 60 + int(horizon),
+		}
+		s, err := Generate(rng.SplitStable(seed, "fuzz-gen"), "fz", cfg)
+		if err != nil {
+			t.Fatalf("Generate errored on a legal config: %v", err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("generated spec fails validation: %v", err)
+		}
+		enc, err := Encode(s)
+		if err != nil {
+			t.Fatalf("Encode failed: %v", err)
+		}
+		s2, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parse of canonical encoding failed: %v\n%s", err, enc)
+		}
+		enc2, err := Encode(s2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical encoding is not a fixpoint:\n%s\nvs\n%s", enc, enc2)
+		}
+		// Order independence: reverse the events and re-encode.
+		rev := &Spec{Name: s.Name, Description: s.Description}
+		for i := len(s.Events) - 1; i >= 0; i-- {
+			rev.Events = append(rev.Events, s.Events[i])
+		}
+		encRev, err := Encode(rev)
+		if err != nil {
+			t.Fatalf("Encode of reversed spec failed: %v", err)
+		}
+		if !bytes.Equal(enc, encRev) {
+			t.Fatalf("event order leaked into the canonical encoding:\n%s\nvs\n%s", enc, encRev)
+		}
+	})
+}

@@ -33,7 +33,7 @@ import (
 var update = flag.Bool("update", false, "rewrite golden trace digests")
 
 // goldenFixtures lists the committed scenario specs, in run order.
-var goldenFixtures = []string{"baseline", "station-outage", "demand-surge"}
+var goldenFixtures = []string{"baseline", "station-outage", "demand-surge", "weather", "airport-surge"}
 
 // goldenSeed fixes both the city and the run; the fixture digests are only
 // meaningful against exactly this world.

@@ -2,7 +2,9 @@
 // harness: a declarative, seed-independent description of everything that
 // goes wrong in a run — charging-station outages and capacity derating,
 // regional demand surges and droughts, GPS dropout windows, fare-price
-// shocks, and battery-degradation cohorts.
+// shocks, battery-degradation cohorts, weather slowdowns, time-of-use
+// tariff shifts, mixed-consumption battery cohorts, shift-change waves,
+// and airport surges.
 //
 // A Spec is loaded from JSON (Parse/Load) or built programmatically
 // (Builder), normalized to a canonical event order, and compiled into an
@@ -16,6 +18,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -49,6 +52,34 @@ const (
 	// Factor for the entire run. Time window fields are ignored: packs do
 	// not heal mid-run. Overlapping degradations multiply.
 	KindBatteryDegradation = "battery-degradation"
+	// KindWeather slows traffic in a region (or citywide) over [FromMin,
+	// ToMin): travel speed is multiplied by Factor ∈ (0, 1] while demand is
+	// multiplied by 2−Factor (bad weather both slows driving and raises
+	// ride-hailing). Overlapping weather windows multiply on both axes.
+	KindWeather = "weather"
+	// KindTariffShift multiplies the time-of-use charging tariff citywide
+	// by Factor over [FromMin, ToMin): a price spike (>1) or an off-peak
+	// rebate (<1). It changes billing only — charging power and the
+	// tariff-band observation feature are untouched, so policies cannot see
+	// the shift except through their wallets. Overlapping shifts multiply.
+	KindTariffShift = "tariff-shift"
+	// KindBatteryCohort scales the energy consumption per km of a cohort of
+	// taxis (ID % CohortMod == CohortRem; CohortMod 0 = whole fleet) by
+	// Factor for the entire run: a mixed fleet of efficient (<1) and thirsty
+	// (>1) vehicle models. Time windows are not supported. Overlapping
+	// cohorts multiply.
+	KindBatteryCohort = "battery-cohort"
+	// KindShiftChange takes a cohort of taxis (ID % CohortMod == CohortRem;
+	// CohortMod 0 = whole fleet) off duty over [FromMin, ToMin): off-duty
+	// taxis are excluded from matching and hold position instead of
+	// executing displacement actions. Forced charging below the low-SoC
+	// floor still applies — a shift change never strands a taxi.
+	// Overlapping windows OR.
+	KindShiftChange = "shift-change"
+	// KindAirportSurge models a flight-bank arrival wave: demand AND fares
+	// in one required region are both multiplied by Factor over [FromMin,
+	// ToMin). Overlapping surges multiply.
+	KindAirportSurge = "airport-surge"
 )
 
 // kindRank fixes the canonical sort order of kinds.
@@ -59,6 +90,11 @@ var kindRank = map[string]int{
 	KindFareShock:          3,
 	KindGPSDropout:         4,
 	KindBatteryDegradation: 5,
+	KindWeather:            6,
+	KindTariffShift:        7,
+	KindBatteryCohort:      8,
+	KindShiftChange:        9,
+	KindAirportSurge:       10,
 }
 
 // Event is one perturbation. Station and Region are pointers so the wire
@@ -129,7 +165,7 @@ func validateEvent(ev *Event) error {
 		return fmt.Errorf("unknown kind %q", ev.Kind)
 	}
 	isStation := ev.Kind == KindStationOutage || ev.Kind == KindStationDerate
-	isBattery := ev.Kind == KindBatteryDegradation
+	isBattery := ev.Kind == KindBatteryDegradation || ev.Kind == KindBatteryCohort
 	if !isBattery {
 		if ev.FromMin < 0 {
 			return fmt.Errorf("%s: negative from_min %d", ev.Kind, ev.FromMin)
@@ -151,9 +187,17 @@ func validateEvent(ev *Event) error {
 		return fmt.Errorf("%s: station field is not allowed", ev.Kind)
 	}
 	switch {
-	case isStation || isBattery:
+	case isStation || isBattery || ev.Kind == KindTariffShift || ev.Kind == KindShiftChange:
 		if ev.Region != nil {
 			return fmt.Errorf("%s: region field is not allowed", ev.Kind)
+		}
+	case ev.Kind == KindAirportSurge:
+		// An airport is a place: a citywide "airport" surge is a spec bug.
+		if ev.Region == nil {
+			return fmt.Errorf("airport-surge: missing region")
+		}
+		if *ev.Region < 0 {
+			return fmt.Errorf("airport-surge: negative region %d", *ev.Region)
 		}
 	default:
 		if ev.Region != nil && *ev.Region < 0 {
@@ -169,27 +213,40 @@ func validateEvent(ev *Event) error {
 	}
 	switch ev.Kind {
 	case KindDemandScale, KindFareShock:
+		// NaN passes a bare `< 0` check and then poisons every product and
+		// the canonical sort, so rule out non-finite factors explicitly
+		// (JSON cannot encode them, but Builder/Compose can).
+		if math.IsNaN(ev.Factor) || math.IsInf(ev.Factor, 0) {
+			return fmt.Errorf("%s: factor must be finite, got %v", ev.Kind, ev.Factor)
+		}
 		if ev.Factor < 0 {
 			return fmt.Errorf("%s: factor must be >= 0, got %v", ev.Kind, ev.Factor)
 		}
-	case KindBatteryDegradation:
-		if !(ev.Factor > 0) {
-			return fmt.Errorf("battery-degradation: factor must be > 0, got %v", ev.Factor)
+	case KindBatteryDegradation, KindBatteryCohort, KindTariffShift, KindAirportSurge:
+		if math.IsInf(ev.Factor, 0) {
+			return fmt.Errorf("%s: factor must be finite, got %v", ev.Kind, ev.Factor)
+		}
+		if !(ev.Factor > 0) { // also rejects NaN
+			return fmt.Errorf("%s: factor must be > 0, got %v", ev.Kind, ev.Factor)
+		}
+	case KindWeather:
+		if !(ev.Factor > 0) || ev.Factor > 1 { // also rejects NaN/Inf
+			return fmt.Errorf("weather: factor must be in (0, 1], got %v", ev.Factor)
 		}
 	default:
 		if ev.Factor != 0 {
 			return fmt.Errorf("%s: factor field is not allowed", ev.Kind)
 		}
 	}
-	if isBattery {
+	if isBattery || ev.Kind == KindShiftChange {
 		if ev.CohortMod < 0 {
-			return fmt.Errorf("battery-degradation: negative cohort_mod %d", ev.CohortMod)
+			return fmt.Errorf("%s: negative cohort_mod %d", ev.Kind, ev.CohortMod)
 		}
 		if ev.CohortMod == 0 && ev.CohortRem != 0 {
-			return fmt.Errorf("battery-degradation: cohort_rem %d without cohort_mod", ev.CohortRem)
+			return fmt.Errorf("%s: cohort_rem %d without cohort_mod", ev.Kind, ev.CohortRem)
 		}
 		if ev.CohortMod > 0 && (ev.CohortRem < 0 || ev.CohortRem >= ev.CohortMod) {
-			return fmt.Errorf("battery-degradation: cohort_rem %d out of [0, %d)", ev.CohortRem, ev.CohortMod)
+			return fmt.Errorf("%s: cohort_rem %d out of [0, %d)", ev.Kind, ev.CohortRem, ev.CohortMod)
 		}
 	} else if ev.CohortMod != 0 || ev.CohortRem != 0 {
 		return fmt.Errorf("%s: cohort fields are not allowed", ev.Kind)

@@ -26,7 +26,7 @@ var shardCounts = []int{1, 2, 4, 8}
 
 // goldenFixtures are the scenario specs pinned by the golden-trace harness;
 // the sharded engine must be K-invariant under every one of them.
-var goldenFixtures = []string{"baseline", "station-outage", "demand-surge"}
+var goldenFixtures = []string{"baseline", "station-outage", "demand-surge", "weather", "airport-surge"}
 
 func loadFixture(t *testing.T, name string) *scenario.Spec {
 	t.Helper()

@@ -76,6 +76,12 @@ type Results struct {
 	ServedRequests   int
 	// ChargeStartsByHour histograms plug-in events per hour of day (Fig. 4).
 	ChargeStartsByHour [24]int
+	// RegionDemand/RegionServed count generated and served requests per
+	// origin region — the inputs of the spatial-fairness metrics (demand-
+	// service ratio, F_spatial). Indexed by region; nil on results predating
+	// the spatial analytics.
+	RegionDemand []int
+	RegionServed []int
 }
 
 // PEs returns per-taxi profit efficiencies, skipping taxis that never went

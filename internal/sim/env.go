@@ -206,8 +206,11 @@ type Env struct {
 	res Results
 
 	// hooks is the installed fault/perturbation engine (nil = clean run);
-	// rec receives the structured event log (nil = none). See hooks.go.
+	// xh is its optional extended tier (nil unless hooks also implements
+	// ExtendedHooks); rec receives the structured event log (nil = none).
+	// See hooks.go.
 	hooks Hooks
+	xh    ExtendedHooks
 	rec   Recorder
 	// closedNow tracks each station's closure state so the perturbation
 	// sweep can emit outage transition events exactly once per edge.
@@ -225,6 +228,9 @@ type Env struct {
 
 	invalidActions int
 	finalized      bool
+	// generated counts every sampled request since Reset (warmup included),
+	// mirroring Core's counter for the request-conservation invariant.
+	generated int
 }
 
 // stationClosed reports whether station rejects new arrivals at minute m.
@@ -286,9 +292,15 @@ func (e *Env) Reset(seed int64) {
 		}
 		e.predictor = p
 	}
-	e.res = Results{SlotMinutes: e.slotLen, Accounts: make([]TaxiAccount, len(e.taxis))}
+	e.res = Results{
+		SlotMinutes:  e.slotLen,
+		Accounts:     make([]TaxiAccount, len(e.taxis)),
+		RegionDemand: make([]int, e.city.Partition.Len()),
+		RegionServed: make([]int, e.city.Partition.Len()),
+	}
 	e.invalidActions = 0
 	e.finalized = false
+	e.generated = 0
 }
 
 // City returns the underlying synthetic city.
@@ -392,12 +404,19 @@ func (e *Env) Step(actions map[int]Action) {
 		e.taxis[i].slotProfit = 0
 	}
 
-	// 1. Apply displacement actions to vacant taxis.
+	// 1. Apply displacement actions to vacant taxis. Off-duty taxis hold
+	// position instead — unless forced charging applies (a shift change
+	// never strands a taxi), in which case the action proceeds and the
+	// mask coercion below steers it to a charger.
 	ids := e.VacantTaxis()
 	for _, id := range ids {
 		a, ok := actions[id]
 		if !ok {
 			a = Action{Kind: Stay}
+		}
+		if e.offDuty(id, slotStart) && e.taxis[id].batt.SoC >= e.opts.LowSoC {
+			a = Action{Kind: Stay}
+			e.tel.offDutyHolds.Inc()
 		}
 		e.applyAction(id, a)
 	}
@@ -406,6 +425,10 @@ func (e *Env) Step(actions map[int]Action) {
 	// expire pending ones whose patience ran out, and match the rest
 	// oldest-first.
 	reqs := e.city.Demand.SampleScaled(e.demandSrc, slotStart, e.slotLen, e.demandScaleFunc(slotStart))
+	e.generated += len(reqs)
+	for i := range reqs {
+		e.res.RegionDemand[reqs[i].OriginRegion]++
+	}
 	if e.hooks != nil {
 		for i := range reqs {
 			if f := e.hooks.FareScale(reqs[i].OriginRegion, reqs[i].TimeMin); f != 1 && f >= 0 {
@@ -497,7 +520,12 @@ func (e *Env) clearAccounting() {
 		t.chargeCost = 0
 		t.chargeSoC0 = t.batt.SoC
 	}
-	e.res = Results{SlotMinutes: e.slotLen, Accounts: make([]TaxiAccount, len(e.taxis))}
+	e.res = Results{
+		SlotMinutes:  e.slotLen,
+		Accounts:     make([]TaxiAccount, len(e.taxis)),
+		RegionDemand: make([]int, e.city.Partition.Len()),
+		RegionServed: make([]int, e.city.Partition.Len()),
+	}
 }
 
 // applyAction executes a displacement decision for taxi id, coercing
@@ -537,7 +565,7 @@ func (e *Env) applyAction(id int, a Action) {
 		nbs := e.city.Partition.Region(t.region).Neighbors
 		dest := nbs[a.Arg]
 		distKm := e.city.Partition.Distance(t.region, dest) * demand.RoadFactor
-		travelMin := e.travelMinutes(distKm, e.nowMin)
+		travelMin := e.travelMinutes(distKm, t.region, e.nowMin)
 		// Crawl energy up to now is settled, then the relocation drive is
 		// paid in full; the taxi is unmatchable until it arrives. Seek time
 		// keeps accruing — relocation is still cruising.
@@ -554,7 +582,7 @@ func (e *Env) applyAction(id int, a Action) {
 		ns := e.nearStations[t.region]
 		st := ns[a.Arg]
 		distKm := st.DistKm * demand.RoadFactor
-		travelMin := e.travelMinutes(distKm, e.nowMin)
+		travelMin := e.travelMinutes(distKm, t.region, e.nowMin)
 		// Close the cruise segment: seeking ends, idle begins (t3).
 		e.flushCruise(t, e.nowMin)
 		e.accrueCrawl(t, e.nowMin)
@@ -575,13 +603,30 @@ func (e *Env) hourAt(min int) int { return hourAt(min) }
 func hourAt(min int) int { return (min / 60) % 24 }
 
 // travelMinutes converts a road distance to whole driving minutes at the
-// traffic speed of minute m, with a one-minute floor.
-func (e *Env) travelMinutes(distKm float64, m int) int { return travelMinutesAt(distKm, m) }
+// traffic speed of minute m in the given region, with a one-minute floor.
+// The region matters only under a weather perturbation.
+func (e *Env) travelMinutes(distKm float64, region, m int) int {
+	if s := e.speedScale(region, m); s != 1 {
+		return travelMinutesScaled(distKm, m, s)
+	}
+	return travelMinutesAt(distKm, m)
+}
 
 // travelMinutesAt is the engine-independent travel-time rule; both the
 // sequential Env and the sharded kernel use it.
 func travelMinutesAt(distKm float64, m int) int {
 	travelMin := int(math.Ceil(distKm / demand.SpeedKmh(hourAt(m)) * 60))
+	if travelMin < 1 {
+		travelMin = 1
+	}
+	return travelMin
+}
+
+// travelMinutesScaled is travelMinutesAt under a weather speed multiplier.
+// Kept as a separate function so the clean path divides by the exact same
+// float as before extended hooks existed.
+func travelMinutesScaled(distKm float64, m int, scale float64) int {
+	travelMin := int(math.Ceil(distKm / (demand.SpeedKmh(hourAt(m)) * scale) * 60))
 	if travelMin < 1 {
 		travelMin = 1
 	}
@@ -645,6 +690,9 @@ func (e *Env) matchRequests(reqs []demand.Request) (unmatched []demand.Request) 
 	byRegion := make(map[int][]int)
 	for i := range e.taxis {
 		if s := e.taxis[i].state; s == Cruising || s == Relocating {
+			if e.offDuty(i, e.nowMin) {
+				continue // shift change: invisible to passengers this slot
+			}
 			byRegion[e.taxis[i].region] = append(byRegion[e.taxis[i].region], i)
 		}
 	}
@@ -682,6 +730,9 @@ func (e *Env) serve(id int, req demand.Request) {
 	// the request time and the current slot start.
 	approachKm := e.matchSrc.Uniform(0.3, 1.5)
 	speed := demand.SpeedKmh(e.hourAt(req.TimeMin))
+	if s := e.speedScale(req.OriginRegion, req.TimeMin); s != 1 {
+		speed *= s
+	}
 	approachMin := int(math.Ceil(approachKm / speed * 60))
 	start := req.TimeMin
 	if e.nowMin > start {
@@ -716,6 +767,7 @@ func (e *Env) serve(id int, req demand.Request) {
 	e.record(trace.Event{TimeMin: pickup, Taxi: id, Region: req.OriginRegion, Kind: trace.EvPickup, A: req.DestRegion, B: -1, V: req.Fare})
 
 	e.res.ServedRequests++
+	e.res.RegionServed[req.OriginRegion]++
 	e.res.TripStats = append(e.res.TripStats, TripStat{
 		Taxi:             id,
 		PickupMin:        pickup,
@@ -839,6 +891,9 @@ func (e *Env) chargeMinute(t *taxi, m int) {
 	ch := e.city.Stations.Station(t.stationID).Charger
 	delivered := ch.Charge(&t.batt, 1)
 	rate := e.city.Tariff.Rate(e.city.Tariff.BandAt(m))
+	if f := e.tariffScale(m); f != 1 {
+		rate *= f
+	}
 	cost := delivered * rate
 	t.chargeEnergy += delivered
 	t.chargeCost += cost
@@ -919,6 +974,8 @@ func (e *Env) Results() *Results {
 	// regrow in place.
 	snap.TripStats = append([]TripStat(nil), e.res.TripStats...)
 	snap.ChargeStats = append([]trace.ChargingEvent(nil), e.res.ChargeStats...)
+	snap.RegionDemand = append([]int(nil), e.res.RegionDemand...)
+	snap.RegionServed = append([]int(nil), e.res.RegionServed...)
 	return &snap
 }
 

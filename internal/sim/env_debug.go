@@ -1,0 +1,46 @@
+package sim
+
+// Verification surface of the sequential engine, mirroring kernel_debug.go
+// so the invariant battery can check both engines through one interface.
+// None of this is on the hot path.
+
+// CheckInvariants verifies every station's occupancy state. The sequential
+// engine has no ownership partition, so station consistency is the whole
+// structural check.
+func (e *Env) CheckInvariants() error {
+	for _, st := range e.stations {
+		if err := st.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TaxiEnergyLedger returns the energy ledger of a taxi (see the Core
+// method of the same name: the semantics, including the in-progress
+// charging session, are identical). The account fields reset at the warmup
+// boundary, so conservation holds exactly only when Options.WarmupDays is
+// zero.
+func (e *Env) TaxiEnergyLedger(id int) EnergyLedger {
+	t := &e.taxis[id]
+	charged := t.acct.EnergyKWh
+	if t.state == ChargingState {
+		charged += t.chargeEnergy
+	}
+	return EnergyLedger{
+		SoCKWh:           t.batt.SoC * t.batt.CapacityKWh,
+		CapacityKWh:      t.batt.CapacityKWh,
+		ConsumptionPerKm: t.batt.ConsumptionPerKm,
+		ChargedKWh:       charged,
+		DrivenKm:         t.acct.DistanceKm,
+		DeficitKWh:       t.acct.EnergyDeficitKWh,
+	}
+}
+
+// GeneratedRequests returns how many requests have been sampled since
+// Reset. With WarmupDays zero it satisfies generated == served + unserved +
+// pending at every slot boundary.
+func (e *Env) GeneratedRequests() int { return e.generated }
+
+// PendingRequests returns how many sampled requests are still waiting.
+func (e *Env) PendingRequests() int { return len(e.pending) }

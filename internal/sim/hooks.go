@@ -38,12 +38,47 @@ type Hooks interface {
 	BatteryFactor(taxi int) float64
 }
 
+// ExtendedHooks is the optional second tier of the perturbation interface:
+// weather slowdowns, time-of-use tariff shifts, shift-change waves, and
+// mixed-consumption battery cohorts. A Hooks implementation that also
+// satisfies ExtendedHooks is detected by type assertion in SetHooks;
+// implementations of plain Hooks keep working unchanged, and every method
+// here has an exact identity element (1, 1, false, 1) under which the
+// environment's behavior — including its trace bytes — is untouched.
+//
+// The same purity contract as Hooks applies: every method must be a pure
+// function of its arguments, because the sharded engine calls them from
+// per-region kernels and byte-identical traces across shard counts depend
+// on it.
+type ExtendedHooks interface {
+	Hooks
+	// SpeedScale returns the travel-speed multiplier for a region at a
+	// minute (1 = unperturbed; 0.7 models heavy rain). Applied to cruising,
+	// pickup approach, and station approach legs alike.
+	SpeedScale(region, minute int) float64
+	// TariffScale returns the citywide multiplier on the charging price at
+	// a minute (1 = unperturbed). It scales billing only: charging power
+	// and the tariff-band observation feature are deliberately untouched,
+	// so policies feel the shift through profit, not through features.
+	TariffScale(minute int) float64
+	// OffDuty reports whether a taxi is on a shift change at a minute:
+	// excluded from matching and holding position instead of executing
+	// displacement actions. Forced charging below the low-SoC floor still
+	// applies, so a shift change never strands a taxi.
+	OffDuty(taxi, minute int) bool
+	// ConsumptionFactor returns the multiplier on a taxi's energy
+	// consumption per km (1 = stock vehicle). Applied at Reset alongside
+	// BatteryFactor.
+	ConsumptionFactor(taxi int) float64
+}
+
 // SetHooks installs (or, with nil, removes) a perturbation engine. Call it
 // before Reset: battery-degradation factors take effect when the fleet is
 // rebuilt, and policy.Evaluate resets the environment before every run.
 // Hooks persist across Reset so one engine conditions every episode.
 func (e *Env) SetHooks(h Hooks) {
 	e.hooks = h
+	e.xh, _ = h.(ExtendedHooks)
 	if e.nowMin == 0 {
 		// Fresh environment: re-derive the fleet so battery cohorts apply
 		// even if the caller steps without another Reset.
@@ -54,7 +89,8 @@ func (e *Env) SetHooks(h Hooks) {
 // Hooks returns the installed perturbation engine, or nil.
 func (e *Env) Hooks() Hooks { return e.hooks }
 
-// applyBatteryFactors scales each taxi's pack by its cohort factor.
+// applyBatteryFactors scales each taxi's pack by its cohort factor and,
+// under ExtendedHooks, its consumption rate by the cohort's vehicle model.
 func (e *Env) applyBatteryFactors() {
 	if e.hooks == nil {
 		return
@@ -64,8 +100,42 @@ func (e *Env) applyBatteryFactors() {
 		if f := e.hooks.BatteryFactor(i); f > 0 && f != 1 {
 			b.CapacityKWh *= f
 		}
+		if e.xh != nil {
+			if f := e.xh.ConsumptionFactor(i); f > 0 && f != 1 {
+				b.ConsumptionPerKm *= f
+			}
+		}
 		e.taxis[i].batt = b
 	}
+}
+
+// speedScale returns the ExtendedHooks travel-speed multiplier for a
+// region at a minute, or exactly 1 when no extended hooks are installed.
+func (e *Env) speedScale(region, minute int) float64 {
+	if e.xh == nil {
+		return 1
+	}
+	if f := e.xh.SpeedScale(region, minute); f > 0 {
+		return f
+	}
+	return 1
+}
+
+// tariffScale returns the ExtendedHooks charging-price multiplier at a
+// minute, or exactly 1 when no extended hooks are installed.
+func (e *Env) tariffScale(minute int) float64 {
+	if e.xh == nil {
+		return 1
+	}
+	if f := e.xh.TariffScale(minute); f > 0 {
+		return f
+	}
+	return 1
+}
+
+// offDuty reports whether the taxi sits out this minute on a shift change.
+func (e *Env) offDuty(taxi, minute int) bool {
+	return e.xh != nil && e.xh.OffDuty(taxi, minute)
 }
 
 // Recorder receives the structured event log of a run: one call per
@@ -184,7 +254,7 @@ func (e *Env) replanCharge(t *taxi, m int, kind trace.EventKind) {
 		return
 	}
 	distKm := geoDistKm(cur.Loc, e.city.Stations.Station(best).Loc)
-	travelMin := e.travelMinutes(distKm, m)
+	travelMin := e.travelMinutes(distKm, cur.Region, m)
 	e.driveTracked(t, distKm)
 	t.stationID = best
 	t.arriveMin = m + travelMin

@@ -208,6 +208,7 @@ type Core struct {
 	closedNow []bool
 
 	hooks      Hooks
+	xh         ExtendedHooks
 	rec        Recorder
 	tel        simTel
 	predictor  *forecast.Predictor
@@ -344,7 +345,12 @@ func (c *Core) Reset(seed int64) {
 	} else {
 		c.predictor = nil
 	}
-	c.res = Results{SlotMinutes: c.slotLen, Accounts: make([]TaxiAccount, len(c.taxis))}
+	c.res = Results{
+		SlotMinutes:  c.slotLen,
+		Accounts:     make([]TaxiAccount, len(c.taxis)),
+		RegionDemand: make([]int, n),
+		RegionServed: make([]int, n),
+	}
 	c.tripChunks, c.chargeChunks = nil, nil
 	c.tripCount, c.chargeCount = 0, 0
 	c.generated = 0
@@ -379,7 +385,8 @@ func (c *Core) invalidateCaches() {
 	c.peValid = false
 }
 
-// applyBatteryFactors scales each taxi's pack by its cohort factor.
+// applyBatteryFactors scales each taxi's pack by its cohort factor and,
+// under ExtendedHooks, its consumption rate by the cohort's vehicle model.
 func (c *Core) applyBatteryFactors() {
 	if c.hooks == nil {
 		return
@@ -389,8 +396,52 @@ func (c *Core) applyBatteryFactors() {
 		if f := c.hooks.BatteryFactor(i); f > 0 && f != 1 {
 			b.CapacityKWh *= f
 		}
+		if c.xh != nil {
+			if f := c.xh.ConsumptionFactor(i); f > 0 && f != 1 {
+				b.ConsumptionPerKm *= f
+			}
+		}
 		c.taxis[i].batt = b
 	}
+}
+
+// speedScale returns the ExtendedHooks travel-speed multiplier for a
+// region at a minute, or exactly 1 when no extended hooks are installed.
+func (c *Core) speedScale(region, minute int) float64 {
+	if c.xh == nil {
+		return 1
+	}
+	if f := c.xh.SpeedScale(region, minute); f > 0 {
+		return f
+	}
+	return 1
+}
+
+// tariffScale returns the ExtendedHooks charging-price multiplier at a
+// minute, or exactly 1 when no extended hooks are installed.
+func (c *Core) tariffScale(minute int) float64 {
+	if c.xh == nil {
+		return 1
+	}
+	if f := c.xh.TariffScale(minute); f > 0 {
+		return f
+	}
+	return 1
+}
+
+// offDuty reports whether the taxi sits out this minute on a shift change.
+func (c *Core) offDuty(taxi, minute int) bool {
+	return c.xh != nil && c.xh.OffDuty(taxi, minute)
+}
+
+// travelMinutes converts a road distance to whole driving minutes at the
+// traffic speed of minute m in the given region (see Env.travelMinutes —
+// the scaled rule is shared, so both engines slow down identically).
+func (c *Core) travelMinutes(distKm float64, region, m int) int {
+	if s := c.speedScale(region, m); s != 1 {
+		return travelMinutesScaled(distKm, m, s)
+	}
+	return travelMinutesAt(distKm, m)
 }
 
 // stationClosedHook reports whether station rejects new arrivals at minute m.
@@ -637,6 +688,7 @@ func (c *Core) regionTriple(region int, supply []int, now int) []float64 {
 // SetHooks installs (or, with nil, removes) a perturbation engine.
 func (c *Core) SetHooks(h Hooks) {
 	c.hooks = h
+	c.xh, _ = h.(ExtendedHooks)
 	if c.nowMin == 0 {
 		c.applyBatteryFactors()
 	}
@@ -675,6 +727,8 @@ func (c *Core) Results() *Results {
 	for _, ch := range c.chargeChunks {
 		snap.ChargeStats = append(snap.ChargeStats, ch...)
 	}
+	snap.RegionDemand = append([]int(nil), c.res.RegionDemand...)
+	snap.RegionServed = append([]int(nil), c.res.RegionServed...)
 	return &snap
 }
 
@@ -698,6 +752,13 @@ func (c *Core) BeginSlotApply(k int, actions map[int]Action) {
 		if !ok {
 			a = Action{Kind: Stay}
 		}
+		// Off-duty taxis hold position — unless forced charging applies (a
+		// shift change never strands a taxi), in which case the action
+		// proceeds and the mask coercion steers it to a charger.
+		if c.offDuty(id, c.nowMin) && c.taxis[id].batt.SoC >= c.opts.LowSoC {
+			a = Action{Kind: Stay}
+			c.tel.offDutyHolds.Inc()
+		}
 		kn.applyAction(id, a)
 	})
 }
@@ -716,6 +777,9 @@ func (c *Core) GenerateAndMatch(k int) {
 	}
 	kn.owned.forEach(func(id int) {
 		if s := c.taxis[id].state; s == Cruising || s == Relocating {
+			if c.offDuty(id, slotStart) {
+				return // shift change: invisible to passengers this slot
+			}
 			r := c.taxis[id].region
 			kn.cands[r] = append(kn.cands[r], id)
 		}
@@ -733,6 +797,9 @@ func (c *Core) GenerateAndMatch(k int) {
 		// invariance is untouched because every K uses it.
 		kn.reqBuf = c.city.Demand.SampleRegionScaledFast(kn.reqBuf[:0], c.demandSrc[r], r, slotStart, c.slotLen, factor)
 		reqs := kn.reqBuf
+		// Region r is owned by exactly this kernel, so the per-region demand
+		// tally is a race-free direct write.
+		c.res.RegionDemand[r] += len(reqs)
 		if c.hooks != nil {
 			for i := range reqs {
 				if f := c.hooks.FareScale(reqs[i].OriginRegion, reqs[i].TimeMin); f != 1 && f >= 0 {
@@ -967,7 +1034,12 @@ func (c *Core) clearAccounting() {
 		t.chargeCost = 0
 		t.chargeSoC0 = t.batt.SoC
 	}
-	c.res = Results{SlotMinutes: c.slotLen, Accounts: make([]TaxiAccount, len(c.taxis))}
+	c.res = Results{
+		SlotMinutes:  c.slotLen,
+		Accounts:     make([]TaxiAccount, len(c.taxis)),
+		RegionDemand: make([]int, c.city.Partition.Len()),
+		RegionServed: make([]int, c.city.Partition.Len()),
+	}
 	c.tripChunks, c.chargeChunks = nil, nil
 	c.tripCount, c.chargeCount = 0, 0
 }

@@ -90,7 +90,7 @@ func (kn *kernel) applyAction(id int, a Action) {
 		nbs := c.city.Partition.Region(t.region).Neighbors
 		dest := nbs[a.Arg]
 		distKm := c.city.Partition.Distance(t.region, dest) * demand.RoadFactor
-		travelMin := travelMinutesAt(distKm, c.nowMin)
+		travelMin := c.travelMinutes(distKm, t.region, c.nowMin)
 		accrueCrawl(t, c.nowMin, c.opts.CruiseSpeedKmh)
 		driveTracked(t, distKm)
 		kn.record(trace.Event{TimeMin: c.nowMin, Taxi: t.id, Region: t.region, Kind: trace.EvMove, A: dest, B: -1})
@@ -104,7 +104,7 @@ func (kn *kernel) applyAction(id int, a Action) {
 		ns := c.nearStations[t.region]
 		st := ns[a.Arg]
 		distKm := st.DistKm * demand.RoadFactor
-		travelMin := travelMinutesAt(distKm, c.nowMin)
+		travelMin := c.travelMinutes(distKm, t.region, c.nowMin)
 		flushCruise(t, c.nowMin)
 		accrueCrawl(t, c.nowMin, c.opts.CruiseSpeedKmh)
 		driveTracked(t, distKm)
@@ -161,6 +161,9 @@ func (kn *kernel) serve(id int, req *demand.Request) {
 	t := &c.taxis[id]
 	approachKm := c.matchSrc[req.OriginRegion].Uniform(0.3, 1.5)
 	speed := demand.SpeedKmh(hourAt(req.TimeMin))
+	if s := c.speedScale(req.OriginRegion, req.TimeMin); s != 1 {
+		speed *= s
+	}
 	approachMin := int(math.Ceil(approachKm / speed * 60))
 	start := req.TimeMin
 	if c.nowMin > start {
@@ -194,6 +197,9 @@ func (kn *kernel) serve(id int, req *demand.Request) {
 	kn.record(trace.Event{TimeMin: pickup, Taxi: id, Region: req.OriginRegion, Kind: trace.EvPickup, A: req.DestRegion, B: -1, V: req.Fare})
 
 	kn.served++
+	// req.OriginRegion is owned by this kernel, so the per-region served
+	// tally is a race-free direct write.
+	c.res.RegionServed[req.OriginRegion]++
 	kn.trips = append(kn.trips, TripStat{
 		Taxi:             id,
 		PickupMin:        pickup,
@@ -264,6 +270,9 @@ func (kn *kernel) sweep(m int) {
 	// The tariff band is a function of the minute alone; one lookup covers
 	// every charging taxi this sweep touches.
 	kn.rateNow = c.city.Tariff.Rate(c.city.Tariff.BandAt(m))
+	if f := c.tariffScale(m); f != 1 {
+		kn.rateNow *= f
+	}
 	kn.due = kn.cal.drainTo(kn.due[:0], m)
 	slices.Sort(kn.due)
 
@@ -399,7 +408,7 @@ func (kn *kernel) replanCharge(t *taxi, m int, kind trace.EventKind) {
 		return
 	}
 	distKm := geoDistKm(cur.Loc, c.stationInfo[best].Loc)
-	travelMin := travelMinutesAt(distKm, m)
+	travelMin := c.travelMinutes(distKm, cur.Region, m)
 	driveTracked(t, distKm)
 	t.stationID = best
 	t.arriveMin = m + travelMin

@@ -19,6 +19,7 @@ type simTel struct {
 	outageEdges    *telemetry.Counter // station closure state transitions
 	derateChanges  *telemetry.Counter // station derate level changes
 	staleObs       *telemetry.Counter // observations served from the GPS-dropout cache
+	offDutyHolds   *telemetry.Counter // actions overridden to Stay by a shift change
 	slots          *telemetry.Counter // simulated slots stepped
 	idleMin        *telemetry.Histogram
 	chargeMin      *telemetry.Histogram
@@ -50,6 +51,7 @@ func newSimTel(r *telemetry.Registry) simTel {
 		outageEdges:    r.Counter("sim.hook.outage_edges"),
 		derateChanges:  r.Counter("sim.hook.derate_changes"),
 		staleObs:       r.Counter("sim.hook.stale_obs"),
+		offDutyHolds:   r.Counter("sim.hook.off_duty_holds"),
 		slots:          r.Counter("sim.slots"),
 		idleMin:        r.Histogram("sim.idle_min", 0, 240, 16),
 		chargeMin:      r.Histogram("sim.charge_min", 0, 240, 16),
