@@ -13,9 +13,9 @@ GO ?= go
 COVER_PKGS = ./internal/scenario/ ./internal/trace/ ./internal/checkpoint/ ./internal/shard/ ./internal/invariant/
 COVER_FLOOR = 70
 
-.PHONY: ci vet build test race cover smoke resume-smoke shard-smoke battery fuzz-battery bench-record fuzz bench
+.PHONY: ci vet build test race cover alloc-gate smoke resume-smoke shard-smoke battery fuzz-battery bench-record fuzz bench
 
-ci: vet build test race cover smoke resume-smoke shard-smoke battery
+ci: vet build test race cover alloc-gate smoke resume-smoke shard-smoke battery
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,20 @@ cover:
 		awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN {exit (p+0 < f) ? 1 : 0}' || \
 			{ echo "coverage below floor for $$pkg"; exit 1; }; \
 	done
+
+# Allocation-regression gate: measure allocs/op of every pinned hot-path
+# benchmark (testdata/alloc_floors.json names the set) and fail if any
+# exceeds its recorded floor. Floors are exact at -benchscale=small —
+# steady-state allocation counts do not depend on fleet size, so the gate
+# stays cheap in ci. After a deliberate allocation change, regenerate with
+# `make alloc-gate UPDATE=1` and commit the diff so the regression shows up
+# in review.
+alloc-gate:
+ifeq ($(UPDATE),1)
+	$(GO) test -run TestAllocGate -update-alloc-floors .
+else
+	$(GO) test -run TestAllocGate .
+endif
 
 # Empty-distribution regression smoke: drive the report CLI through the
 # committed zero-trip/zero-charge fixture with telemetry on. A median or
@@ -109,3 +123,4 @@ shard-smoke:
 bench-record:
 	$(GO) test -run TestRecordShardingBench -recordbench -timeout 1800s .
 	$(GO) test -run TestRecordBatteryBench -recordbench -timeout 1800s .
+	$(GO) test -run TestRecordHotpathBench -recordbench -benchscale=full -timeout 1800s .

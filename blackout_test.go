@@ -1,0 +1,82 @@
+package fairmove
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// A total demand blackout — every region scaled to zero for the whole
+// horizon — is the one evaluation where the accessibility floor has no
+// signal and is deliberately NaN. The reports must survive it: text
+// renders "n/a" (covered in internal/metrics) and JSON encodes null,
+// because encoding/json refuses non-finite floats and would otherwise
+// fail the entire report.
+func TestBlackoutScenarioReportMarshals(t *testing.T) {
+	s, err := NewSystem(microConfig(17, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := scenario.NewBuilder("total-blackout").
+		DemandScale(-1, 0, 10*24*60, 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetScenario(spec); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Evaluate(GT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServedRequests != 0 {
+		t.Fatalf("blackout run served %d requests", rep.ServedRequests)
+	}
+	if !math.IsNaN(rep.FloorDSR) {
+		t.Fatalf("blackout FloorDSR = %v, want NaN", rep.FloorDSR)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("blackout EvalReport does not marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"FloorDSR":null`) {
+		t.Fatalf("blackout JSON = %s, want FloorDSR null", data)
+	}
+	if strings.Contains(string(data), "NaN") {
+		t.Fatalf("blackout JSON leaks NaN: %s", data)
+	}
+}
+
+// Comparison's custom marshaler must keep the flat shape of the default
+// encoding: EvalReport fields inline next to the four versus-GT
+// percentages, with a NaN floor as null.
+func TestComparisonMarshalKeepsShape(t *testing.T) {
+	c := Comparison{
+		EvalReport: EvalReport{Method: SD2, MeanPE: 31.5, FloorDSR: math.NaN()},
+		PRCT:       12.5,
+		PIPF:       -3,
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("comparison JSON is not one flat object: %v\n%s", err, data)
+	}
+	for _, key := range []string{"Method", "MeanPE", "FloorDSR", "PRCT", "PRIT", "PIPE", "PIPF"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("comparison JSON lacks %q: %s", key, data)
+		}
+	}
+	if m["FloorDSR"] != nil {
+		t.Fatalf("FloorDSR = %v, want null", m["FloorDSR"])
+	}
+	if m["PRCT"].(float64) != 12.5 {
+		t.Fatalf("PRCT = %v, want 12.5", m["PRCT"])
+	}
+}

@@ -5,8 +5,8 @@
 //	fairmove train   [-seed N] [-fleet N] [-alpha A] [-episodes N] [-pretrain N]
 //	                 [-checkpoint-dir DIR] [-checkpoint-every N] [-resume]
 //	                 [-save-policy FILE] [-model FILE]
-//	fairmove eval    [-seed N] [-fleet N] [-method M] [-load-policy FILE] [-scenario SPEC.json]
-//	fairmove compare [-seed N] [-fleet N] [-alpha A] [-load-policy FILE] [-scenario SPEC.json]
+//	fairmove eval    [-seed N] [-fleet N] [-method M] [-load-policy FILE] [-scenario SPEC.json] [-json]
+//	fairmove compare [-seed N] [-fleet N] [-alpha A] [-load-policy FILE] [-scenario SPEC.json] [-json]
 //
 // `train` trains CMA2C and optionally saves the networks; `eval` evaluates
 // one strategy (loading a saved policy for FairMove if given); `compare`
@@ -28,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	fairmove "repro"
+	"repro/internal/metrics"
 	"repro/internal/parallel"
 	"repro/internal/scenario"
 	"repro/internal/telemetry"
@@ -203,6 +205,7 @@ func cmdEval(args []string) error {
 	model := fs.String("model", "", "saved FairMove model to load instead of training (legacy gob format)")
 	loadPolicy := fs.String("load-policy", "", "FairMove checkpoint file to load instead of training")
 	scenarioPath := fs.String("scenario", "", "JSON scenario spec to condition evaluation on")
+	asJSON := fs.Bool("json", false, "emit the report as JSON (NaN metrics encode as null)")
 	telemetryOn, pprofAddr := observeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -236,10 +239,15 @@ func cmdEval(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
 	fmt.Printf("%s: meanPE=%.2f medianPE=%.2f PF=%.2f gini=%.3f\n",
 		rep.Method, rep.MeanPE, rep.MedianPE, rep.PF, rep.GiniPE)
-	fmt.Printf("  F_spatial=%.3f giniDSR=%.3f floorDSR=%.3f\n",
-		rep.FSpatial, rep.GiniDSR, rep.FloorDSR)
+	fmt.Printf("  F_spatial=%.3f giniDSR=%.3f floorDSR=%s\n",
+		rep.FSpatial, rep.GiniDSR, metrics.FormatRatio(rep.FloorDSR))
 	fmt.Printf("  served=%d unserved=%d profit=%.0f CNY charges=%d\n",
 		rep.ServedRequests, rep.UnservedRequests, rep.FleetProfitCNY, rep.ChargeEvents)
 	fmt.Printf("  median cruise=%.1f min, median idle=%.1f min\n",
@@ -252,6 +260,7 @@ func cmdCompare(args []string) error {
 	seed, fleet, alpha := commonFlags(fs)
 	scenarioPath := fs.String("scenario", "", "JSON scenario spec to condition evaluation on")
 	loadPolicy := fs.String("load-policy", "", "FairMove checkpoint file to load instead of training")
+	asJSON := fs.Bool("json", false, "emit the comparison table as JSON (NaN metrics encode as null)")
 	telemetryOn, pprofAddr := observeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -275,10 +284,15 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-10s %8s %8s %8s %8s %8s %9s %9s\n", "method", "PRCT", "PRIT", "PIPE", "PIPF", "meanPE", "PF", "F_spatial")
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(cmps)
+	}
+	fmt.Printf("%-10s %8s %8s %8s %8s %8s %9s %9s %8s\n", "method", "PRCT", "PRIT", "PIPE", "PIPF", "meanPE", "PF", "F_spatial", "floorDSR")
 	for _, c := range cmps {
-		fmt.Printf("%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.2f %9.2f %9.3f\n",
-			c.Method, c.PRCT, c.PRIT, c.PIPE, c.PIPF, c.MeanPE, c.PF, c.FSpatial)
+		fmt.Printf("%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %8.2f %9.2f %9.3f %8s\n",
+			c.Method, c.PRCT, c.PRIT, c.PIPE, c.PIPF, c.MeanPE, c.PF, c.FSpatial, metrics.FormatRatio(c.FloorDSR))
 	}
 	return nil
 }

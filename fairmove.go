@@ -16,6 +16,7 @@ package fairmove
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -455,6 +456,18 @@ type EvalReport struct {
 	FloorDSR float64 // worst region's demand-service ratio (NaN when no demand)
 }
 
+// MarshalJSON emits the report with FloorDSR as null when it is NaN (a
+// total demand blackout leaves no region with a service ratio):
+// encoding/json refuses non-finite floats, so the raw struct would make
+// every blackout report unserializable.
+func (r EvalReport) MarshalJSON() ([]byte, error) {
+	type alias EvalReport // drops the method set, avoiding recursion
+	return json.Marshal(struct {
+		alias
+		FloorDSR json.RawMessage
+	}{alias(r), metrics.JSONFloat(r.FloorDSR)})
+}
+
 // Evaluate runs one strategy on the configured horizon. All methods are
 // evaluated on the same demand realization (same seed), so reports are
 // directly comparable.
@@ -503,6 +516,23 @@ type Comparison struct {
 	PRIT float64 // % idle-time reduction vs GT (Table III)
 	PIPE float64 // % profit-efficiency increase vs GT (Fig. 15)
 	PIPF float64 // % profit-fairness increase vs GT (Fig. 16)
+}
+
+// MarshalJSON preserves the flat object shape the embedded EvalReport gives
+// the default encoding. Without it the EvalReport.MarshalJSON promoted from
+// the embedded field would take over and silently drop the four
+// versus-ground-truth percentages.
+func (c Comparison) MarshalJSON() ([]byte, error) {
+	rep, err := json.Marshal(c.EvalReport)
+	if err != nil {
+		return nil, err
+	}
+	extra, err := json.Marshal(struct{ PRCT, PRIT, PIPE, PIPF float64 }{c.PRCT, c.PRIT, c.PIPE, c.PIPF})
+	if err != nil {
+		return nil, err
+	}
+	merged := append(rep[:len(rep)-1], ',')
+	return append(merged, extra[1:]...), nil
 }
 
 // CompareAll evaluates every strategy on the same demand realization and

@@ -249,7 +249,7 @@ func (f *FairMove) TrainCheckpointed(city *synth.City, episodes, days int, seed 
 		mean := policy.RunEpisode(env,
 			func(id int, obs sim.Observation) int { return f.choose(obs) },
 			f.cfg.Alpha, f.cfg.Gamma,
-			func(id int, tr policy.Transition) { buf = append(buf, tr) },
+			func(id int, tr policy.Transition) { buf = append(buf, tr.Detach()) },
 		)
 		stats.MeanReward = append(stats.MeanReward, mean)
 		stats.Transitions += len(buf)

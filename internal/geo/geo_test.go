@@ -280,3 +280,122 @@ func TestGridIndexPanics(t *testing.T) {
 	mustPanic("empty points", func() { NewGridIndex(nil, nil, 4) })
 	mustPanic("label mismatch", func() { NewGridIndex([]Point{{0, 0}}, []int{1, 2}, 4) })
 }
+
+// TestGridIndexKNearestBruteForceProperty pins the ring-termination bound:
+// across random point sets, grid resolutions, and deliberately skewed
+// extents (tall/flat boxes stress the per-axis distance bound), KNearest
+// must return exactly the brute-force k-nearest set. The old fixed
+// guard-ring rule failed this whenever the first satisfying ring was 0 or
+// the cell aspect let a nearer point hide two rings out.
+func TestGridIndexKNearestBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	shapes := []struct{ w, h float64 }{
+		{0.9, 0.5},   // Shenzhen-like
+		{0.9, 0.05},  // flat: cellH ≪ cellW
+		{0.05, 0.9},  // tall: cellW ≪ cellH
+		{0.01, 0.01}, // dense micro-box
+	}
+	for trial := 0; trial < 40; trial++ {
+		sh := shapes[trial%len(shapes)]
+		n := 2 + rng.Intn(300)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{
+				Lng: 113.7 + rng.Float64()*sh.w,
+				Lat: 22.4 + rng.Float64()*sh.h,
+			}
+			if rng.Intn(4) == 0 && i > 0 {
+				// Cluster: duplicate-ish points sharing a cell.
+				pts[i] = Point{Lng: pts[i-1].Lng + rng.Float64()*1e-4, Lat: pts[i-1].Lat}
+			}
+		}
+		cells := 1 + rng.Intn(30)
+		idx := NewGridIndex(pts, nil, cells)
+		for q := 0; q < 25; q++ {
+			query := Point{
+				Lng: 113.7 + rng.Float64()*sh.w,
+				Lat: 22.4 + rng.Float64()*sh.h,
+			}
+			k := 1 + rng.Intn(8)
+			got := idx.KNearest(query, k)
+			want := bruteKNearest(pts, query, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: KNearest(%v, %d) returned %d results, want %d",
+					trial, query, k, len(got), len(want))
+			}
+			for i := range got {
+				// Compare by distance, not label: exact ties may order freely.
+				if got[i].DistKm != want[i].DistKm {
+					t.Fatalf("trial %d (n=%d cells=%d): KNearest(%v, %d)[%d] = label %d at %.9f km, brute force %.9f km",
+						trial, n, cells, query, k, i, got[i].Label, got[i].DistKm, want[i].DistKm)
+				}
+			}
+		}
+	}
+}
+
+// bruteKNearest is the O(n log n) reference the grid index must match.
+func bruteKNearest(pts []Point, q Point, k int) []Neighbor {
+	all := make([]Neighbor, len(pts))
+	for i, p := range pts {
+		all[i] = Neighbor{Label: i, DistKm: Distance(q, p)}
+	}
+	sortNeighbors(all)
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// TestGridIndexKNearestIntoMatchesKNearest pins the Into variant to the
+// allocating API byte for byte, including buffer reuse across queries.
+func TestGridIndexKNearestIntoMatchesKNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 120)
+	for i := range pts {
+		pts[i] = Point{Lng: 113.7 + rng.Float64()*0.9, Lat: 22.4 + rng.Float64()*0.5}
+	}
+	idx := NewGridIndex(pts, nil, 16)
+	var buf []Neighbor
+	for trial := 0; trial < 100; trial++ {
+		q := Point{Lng: 113.7 + rng.Float64()*0.9, Lat: 22.4 + rng.Float64()*0.5}
+		k := 1 + rng.Intn(7)
+		want := idx.KNearest(q, k)
+		buf = idx.KNearestInto(q, k, buf)
+		if len(buf) != len(want) {
+			t.Fatalf("KNearestInto returned %d results, KNearest %d", len(buf), len(want))
+		}
+		for i := range buf {
+			if buf[i] != want[i] {
+				t.Fatalf("KNearestInto[%d] = %+v, KNearest %+v", i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGridIndexKNearestIntoSteadyStateAllocs proves the amortized lookup
+// allocates nothing once the buffer has grown to steady size.
+func TestGridIndexKNearestIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]Point, 300)
+	for i := range pts {
+		pts[i] = Point{Lng: 113.7 + rng.Float64()*0.9, Lat: 22.4 + rng.Float64()*0.5}
+	}
+	idx := NewGridIndex(pts, nil, 16)
+	queries := make([]Point, 64)
+	for i := range queries {
+		queries[i] = Point{Lng: 113.7 + rng.Float64()*0.9, Lat: 22.4 + rng.Float64()*0.5}
+	}
+	var buf []Neighbor
+	for _, q := range queries {
+		buf = idx.KNearestInto(q, 5, buf)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = idx.KNearestInto(queries[i%len(queries)], 5, buf)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state KNearestInto allocates %.1f/op, want 0", allocs)
+	}
+}

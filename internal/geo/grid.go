@@ -2,7 +2,7 @@ package geo
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // GridIndex is a uniform-grid spatial index over points. It supports
@@ -14,6 +14,7 @@ type GridIndex struct {
 	rows   int
 	cellW  float64
 	cellH  float64
+	cosLat float64 // min |cos(lat)| over the bbox: deg-lng → km lower bound
 	cells  [][]int // indices into pts per cell
 	pts    []Point
 	labels []int // caller-supplied identifiers, parallel to pts
@@ -39,12 +40,20 @@ func NewGridIndex(pts []Point, labels []int, cells int) *GridIndex {
 		panic("geo: labels length mismatch")
 	}
 	b := BBoxOf(pts).Expand(1e-9)
+	// cos is even and decreasing in |lat|, so the extreme latitude gives the
+	// minimum over the whole box whether or not it straddles the equator.
+	maxAbsLat := math.Max(math.Abs(b.MinLat), math.Abs(b.MaxLat))
+	cosLat := math.Cos(maxAbsLat * math.Pi / 180)
+	if cosLat < 0 {
+		cosLat = 0 // polar box: longitude separation bounds nothing
+	}
 	g := &GridIndex{
 		bbox:   b,
 		cols:   cells,
 		rows:   cells,
 		cellW:  b.Width() / float64(cells),
 		cellH:  b.Height() / float64(cells),
+		cosLat: cosLat,
 		cells:  make([][]int, cells*cells),
 		pts:    append([]Point(nil), pts...),
 		labels: append([]int(nil), labels...),
@@ -80,12 +89,17 @@ func clampInt(v, lo, hi int) int {
 // Nearest returns the label of the indexed point closest to q and the
 // distance to it in kilometres.
 func (g *GridIndex) Nearest(q Point) (label int, distKm float64) {
-	res := g.KNearest(q, 1)
+	var buf [nearestStack]Neighbor
+	res := g.KNearestInto(q, 1, buf[:0])
 	if len(res) == 0 {
 		return -1, math.Inf(1)
 	}
 	return res[0].Label, res[0].DistKm
 }
+
+// nearestStack sizes Nearest's stack candidate buffer: sparse grids rarely
+// see more than a few dozen candidates before the ring bound closes.
+const nearestStack = 32
 
 // Neighbor is one result of a KNearest query.
 type Neighbor struct {
@@ -94,11 +108,30 @@ type Neighbor struct {
 }
 
 // KNearest returns the k indexed points closest to q ordered by increasing
-// distance. It expands a ring search over grid cells until enough candidates
-// are found.
+// distance. It allocates a fresh result slice per call; amortized callers
+// should hold a buffer and use KNearestInto.
 func (g *GridIndex) KNearest(q Point, k int) []Neighbor {
+	return g.KNearestInto(q, k, nil)
+}
+
+// KNearestInto is KNearest appending into buf's storage (contents are
+// discarded), so a caller that keeps the returned slice as its next buf
+// allocates only until the buffer reaches steady size. The result aliases
+// buf and is valid until the next reuse.
+//
+// The ring search expands over grid cells until the next unexamined ring
+// provably cannot contain a point nearer than the current k-th best: a cell
+// at Chebyshev ring r is separated from the query's cell by at least r−1
+// full cells along one axis, and minRingDistKm turns that into a
+// great-circle lower bound. (The previous termination rule — one fixed
+// guard ring past first satisfaction — was wrong twice over: when ring 0
+// already held k candidates it skipped the guard entirely, and on grids
+// with skewed cell aspect or clustered points a strictly nearer point can
+// hide more than one ring out.)
+func (g *GridIndex) KNearestInto(q Point, k int, buf []Neighbor) []Neighbor {
+	cand := buf[:0]
 	if k <= 0 {
-		return nil
+		return cand
 	}
 	if k > len(g.pts) {
 		k = len(g.pts)
@@ -106,30 +139,65 @@ func (g *GridIndex) KNearest(q Point, k int) []Neighbor {
 	cx := clampInt(int((q.Lng-g.bbox.MinLng)/g.cellW), 0, g.cols-1)
 	cy := clampInt(int((q.Lat-g.bbox.MinLat)/g.cellH), 0, g.rows-1)
 
-	var cand []Neighbor
 	maxRing := g.cols
 	if g.rows > maxRing {
 		maxRing = g.rows
 	}
-	for ring := 0; ring <= maxRing; ring++ {
-		added := g.collectRing(q, cx, cy, ring, &cand)
-		// Stop once we have k candidates and have searched one ring past the
-		// ring that produced them, which guarantees correctness on a uniform
-		// grid (a nearer point cannot hide more than one ring further out).
-		if len(cand) >= k && ring > 0 && !added {
-			break
-		}
-		if len(cand) >= k && ring >= 1 {
-			// One extra guard ring beyond first satisfaction.
-			g.collectRing(q, cx, cy, ring+1, &cand)
+	ring := 0
+	for ; ring <= maxRing; ring++ {
+		g.collectRing(q, cx, cy, ring, &cand)
+		if len(cand) >= k {
 			break
 		}
 	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i].DistKm < cand[j].DistKm })
+	sortNeighbors(cand)
+	for next := ring + 1; next <= maxRing; next++ {
+		if g.minRingDistKm(next) > cand[k-1].DistKm {
+			break
+		}
+		n := len(cand)
+		g.collectRing(q, cx, cy, next, &cand)
+		if len(cand) != n {
+			sortNeighbors(cand)
+		}
+	}
 	if len(cand) > k {
 		cand = cand[:k]
 	}
 	return cand
+}
+
+// sortNeighbors orders candidates by increasing distance with the exact
+// comparison KNearest has always used (no tie-break beyond distance).
+func sortNeighbors(cand []Neighbor) {
+	slices.SortFunc(cand, func(a, b Neighbor) int {
+		switch {
+		case a.DistKm < b.DistKm:
+			return -1
+		case a.DistKm > b.DistKm:
+			return 1
+		}
+		return 0
+	})
+}
+
+// minRingDistKm returns a lower bound on the great-circle distance from any
+// point in the query's cell to any point in a cell at Chebyshev ring r.
+// Such cells are at least r−1 cell extents away along one axis, and the
+// haversine distance satisfies d ≥ 2R·sin(Δlat/2) and
+// d ≥ 2R·min|cos(lat)|·sin(Δlng/2), so the smaller of the two axis bounds
+// is safe whichever axis provides the separation.
+func (g *GridIndex) minRingDistKm(ring int) float64 {
+	if ring <= 1 {
+		return 0
+	}
+	const degToRad = math.Pi / 180
+	gap := float64(ring - 1)
+	latHalf := math.Min(gap*g.cellH*degToRad/2, math.Pi/2)
+	lngHalf := math.Min(gap*g.cellW*degToRad/2, math.Pi/2)
+	latBound := 2 * EarthRadiusKm * math.Sin(latHalf)
+	lngBound := 2 * EarthRadiusKm * g.cosLat * math.Sin(lngHalf)
+	return math.Min(latBound, lngBound)
 }
 
 // collectRing appends all points in cells at Chebyshev distance ring from

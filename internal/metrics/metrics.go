@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/sim"
@@ -151,8 +152,21 @@ func Compare(name string, g, d *sim.Results) Comparison {
 	return c
 }
 
-// String renders the comparison as one report row.
+// String renders the comparison as one report row. FloorDSR is the one
+// field with a legitimate no-signal value (NaN under a total demand
+// blackout) and renders as "n/a" there.
 func (c Comparison) String() string {
-	return fmt.Sprintf("%-10s PRCT=%6.1f%% PRIT=%6.1f%% PIPE=%6.1f%% PIPF=%6.1f%% meanPE=%6.2f PF=%7.2f Fsp=%5.3f",
-		c.Name, c.PRCT, c.PRIT, c.PIPE, c.PIPF, c.MeanPE, c.PF, c.FSpatial)
+	return fmt.Sprintf("%-10s PRCT=%6.1f%% PRIT=%6.1f%% PIPE=%6.1f%% PIPF=%6.1f%% meanPE=%6.2f PF=%7.2f Fsp=%5.3f floor=%s",
+		c.Name, c.PRCT, c.PRIT, c.PIPE, c.PIPF, c.MeanPE, c.PF, c.FSpatial, FormatRatio(c.FloorDSR))
+}
+
+// MarshalJSON emits the comparison with FloorDSR as null when it is NaN
+// (no region saw demand): encoding/json refuses non-finite floats, so
+// without this a blackout scenario makes the whole report unserializable.
+func (c Comparison) MarshalJSON() ([]byte, error) {
+	type alias Comparison // drops the method set, avoiding recursion
+	return json.Marshal(struct {
+		alias
+		FloorDSR json.RawMessage
+	}{alias(c), JSONFloat(c.FloorDSR)})
 }

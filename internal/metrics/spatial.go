@@ -8,7 +8,9 @@ package metrics
 // demand-service ratio distribution and summarize its equity.
 
 import (
+	"encoding/json"
 	"math"
+	"strconv"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -61,4 +63,26 @@ func AccessibilityFloor(r *sim.Results) float64 {
 		}
 	}
 	return floor
+}
+
+// FormatRatio renders a possibly-NaN ratio metric for text tables: a
+// no-signal NaN (e.g. AccessibilityFloor under a total demand blackout)
+// prints as "n/a" rather than Go's "NaN".
+func FormatRatio(v float64) string {
+	if math.IsNaN(v) {
+		return "n/a"
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+// JSONFloat marshals v as a JSON number, or as null when v is NaN or ±Inf:
+// encoding/json rejects non-finite floats outright ("unsupported value"),
+// so any report struct holding a possibly-NaN metric must route it through
+// here (see Comparison.MarshalJSON).
+func JSONFloat(v float64) json.RawMessage {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return json.RawMessage("null")
+	}
+	b, _ := json.Marshal(v)
+	return b
 }

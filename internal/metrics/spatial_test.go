@@ -1,7 +1,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -80,5 +82,54 @@ func TestCompareCarriesSpatialFields(t *testing.T) {
 	}
 	if math.Abs(c.GiniDSR-(1-c.FSpatial)) > 1e-12 {
 		t.Fatalf("GiniDSR %v inconsistent with FSpatial %v", c.GiniDSR, c.FSpatial)
+	}
+}
+
+func TestBlackoutRendersWithoutNaN(t *testing.T) {
+	// Total demand blackout: every region demanded nothing, so the
+	// accessibility floor is NaN ("no signal"). The formatters must not leak
+	// that NaN — text renders "n/a" and JSON encodes null (raw NaN makes
+	// encoding/json fail outright, taking the whole report with it).
+	g := spatialResults([]int{10, 10}, []int{10, 10})
+	d := spatialResults([]int{0, 0}, []int{0, 0})
+	c := Compare("blackout", g, d)
+	if !math.IsNaN(c.FloorDSR) {
+		t.Fatalf("blackout FloorDSR = %v, want NaN", c.FloorDSR)
+	}
+	if got := FormatRatio(c.FloorDSR); got != "n/a" {
+		t.Fatalf("FormatRatio(NaN) = %q, want \"n/a\"", got)
+	}
+	if s := c.String(); strings.Contains(s, "NaN") || !strings.Contains(s, "floor=n/a") {
+		t.Fatalf("blackout row renders %q", s)
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("blackout comparison does not marshal: %v", err)
+	}
+	if !strings.Contains(string(data), `"FloorDSR":null`) {
+		t.Fatalf("blackout JSON = %s, want FloorDSR null", data)
+	}
+}
+
+func TestFormatRatioFinite(t *testing.T) {
+	if got := FormatRatio(0.25); got != "0.250" {
+		t.Fatalf("FormatRatio(0.25) = %q, want \"0.250\"", got)
+	}
+}
+
+func TestJSONFloatRoundTrips(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0.5, "0.5"},
+		{math.NaN(), "null"},
+		{math.Inf(1), "null"},
+		{math.Inf(-1), "null"},
+	}
+	for _, tc := range cases {
+		if got := string(JSONFloat(tc.in)); got != tc.want {
+			t.Fatalf("JSONFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
 	}
 }

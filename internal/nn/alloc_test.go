@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refForward1 is a deliberately naive fresh-allocation forward pass using
+// the same accumulation order as MatMulTransBInto (ascending k) and the
+// same bias-then-activation epilogue, so its float64 results must be
+// bit-identical to the scratch-backed Forward1 — any divergence means the
+// buffer reuse changed an operation order.
+func refForward1(m *MLP, x []float64) []float64 {
+	in := append([]float64(nil), x...)
+	for _, l := range m.Layers {
+		out := make([]float64, l.Out)
+		for j := 0; j < l.Out; j++ {
+			w := l.W.Row(j)
+			var s float64
+			for k := range in {
+				s += in[k] * w[k]
+			}
+			out[j] = l.Act.apply(s + l.B[j])
+		}
+		in = out
+	}
+	return in
+}
+
+func testNet(tb testing.TB) (*MLP, [][]float64) {
+	tb.Helper()
+	src := rng.New(99)
+	m := NewMLP(src, []int{55, 64, 64, 14}, ReLU, Identity)
+	inputs := make([][]float64, 32)
+	for i := range inputs {
+		row := make([]float64, 55)
+		for j := range row {
+			row[j] = src.Uniform(-2, 2)
+		}
+		inputs[i] = row
+	}
+	return m, inputs
+}
+
+func TestForward1MatchesFreshAllocReference(t *testing.T) {
+	m, inputs := testNet(t)
+	for i, x := range inputs {
+		got := m.Forward1(x)
+		want := refForward1(m, x)
+		if len(got) != len(want) {
+			t.Fatalf("input %d: got %d outputs, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("input %d output %d: scratch path %v != reference %v (must be bit-identical)", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestForward1ZeroAlloc(t *testing.T) {
+	m, inputs := testNet(t)
+	m.Forward1(inputs[0]) // allocate the scratch once
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Forward1(inputs[i%len(inputs)])
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Forward1 allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestForwardRowsSerialZeroAlloc(t *testing.T) {
+	m, inputs := testNet(t)
+	m.ForwardRows(inputs, 1) // allocate the rows arena once
+	allocs := testing.AllocsPerRun(50, func() {
+		m.ForwardRows(inputs, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state serial ForwardRows allocates %v/op, want 0", allocs)
+	}
+}

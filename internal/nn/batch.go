@@ -8,23 +8,55 @@ import (
 
 // ForwardRows evaluates the network on each row independently, sharding the
 // rows across at most workers goroutines. Inference (train=false) reads only
-// the weights, so sharing the MLP across workers is safe, and each row goes
-// through exactly the same per-row kernels as Forward1 — the output is
-// byte-identical to a serial Forward1 loop for any worker count.
+// the weights, and each worker chunk runs through its own scratch arena, so
+// sharing the MLP across the chunks is safe; every row goes through exactly
+// the same per-row kernels as Forward1, making the output byte-identical to
+// a serial Forward1 loop for any worker count.
+//
+// The returned row slices are views into an MLP-owned result arena, reused
+// by the next ForwardRows call on this network: callers that keep rows
+// beyond that must copy them. Steady-state calls with a stable batch shape
+// allocate nothing.
 func (m *MLP) ForwardRows(rows [][]float64, workers int) [][]float64 {
-	out := make([][]float64, len(rows))
-	chunks := parallel.Chunks(len(rows), workers)
-	if len(chunks) <= 1 {
+	n := len(rows)
+	if cap(m.rowsOut) < n {
+		m.rowsOut = make([][]float64, n)
+	}
+	out := m.rowsOut[:n]
+	if n == 0 {
+		return out
+	}
+	w := m.OutputSize()
+	if cap(m.rowsArena) < n*w {
+		m.rowsArena = make([]float64, n*w)
+	}
+	arena := m.rowsArena[:n*w]
+	serial := workers == 1 || n == 1
+	var chunks [][2]int
+	if !serial {
+		chunks = parallel.Chunks(n, workers)
+		serial = len(chunks) <= 1
+	}
+	if serial {
 		for i, r := range rows {
-			out[i] = m.Forward1(r)
+			dst := arena[i*w : (i+1)*w : (i+1)*w]
+			copy(dst, m.forward1Into(r, &m.fwd))
+			out[i] = dst
 		}
 		return out
 	}
-	// Each chunk writes a disjoint range of out; no worker returns an error,
-	// so ForEach cannot fail short of a panic (which it re-raises here).
+	if len(m.chunkFwd) < len(chunks) {
+		m.chunkFwd = make([]scratch, len(chunks))
+	}
+	// Each chunk writes a disjoint range of out and arena through its own
+	// scratch; no worker returns an error, so ForEach cannot fail short of a
+	// panic (which it re-raises here).
 	_ = parallel.ForEach(context.Background(), len(chunks), len(chunks), func(_ context.Context, c int) error {
+		s := &m.chunkFwd[c]
 		for i := chunks[c][0]; i < chunks[c][1]; i++ {
-			out[i] = m.Forward1(rows[i])
+			dst := arena[i*w : (i+1)*w : (i+1)*w]
+			copy(dst, m.forward1Into(rows[i], s))
+			out[i] = dst
 		}
 		return nil
 	})

@@ -22,7 +22,9 @@ func TestForwardRowsMatchesForward1(t *testing.T) {
 	}
 	want := make([][]float64, len(rows))
 	for i, r := range rows {
-		want[i] = m.Forward1(r)
+		// Forward1 returns a view into the MLP's inference arena; copy it
+		// out before the next call reuses the buffer.
+		want[i] = append([]float64(nil), m.Forward1(r)...)
 	}
 	for _, workers := range []int{1, 2, 3, 8, 64} {
 		got := m.ForwardRows(rows, workers)

@@ -6,10 +6,17 @@ import "math"
 // dL/dpred (averaged over the batch). pred and target must have identical
 // shapes.
 func MSELoss(pred, target *Mat) (loss float64, grad *Mat) {
+	return MSELossInto(pred, target, nil)
+}
+
+// MSELossInto is MSELoss writing the gradient into grad's storage (reused
+// when it fits, nil allocates) and returning it.
+func MSELossInto(pred, target, grad *Mat) (float64, *Mat) {
 	if pred.Rows != target.Rows || pred.Cols != target.Cols {
 		panic("nn: MSELoss shape mismatch")
 	}
-	grad = NewMat(pred.Rows, pred.Cols)
+	grad = ensureMat(grad, pred.Rows, pred.Cols)
+	var loss float64
 	n := float64(len(pred.Data))
 	for i := range pred.Data {
 		d := pred.Data[i] - target.Data[i]
@@ -23,7 +30,19 @@ func MSELoss(pred, target *Mat) (loss float64, grad *Mat) {
 // fashion, optionally restricted to a mask (nil = all valid). Masked-out
 // entries receive probability 0.
 func Softmax(logits []float64, mask []bool) []float64 {
-	probs := make([]float64, len(logits))
+	return SoftmaxInto(logits, mask, make([]float64, len(logits)))
+}
+
+// SoftmaxInto is Softmax writing into probs, which must have the logits'
+// length (it is the caller's scratch, typically a fixed action-width
+// buffer). Returns probs.
+func SoftmaxInto(logits []float64, mask []bool, probs []float64) []float64 {
+	if len(probs) != len(logits) {
+		panic("nn: SoftmaxInto scratch length mismatch")
+	}
+	for i := range probs {
+		probs[i] = 0
+	}
 	maxL := math.Inf(-1)
 	for i, l := range logits {
 		if mask != nil && !mask[i] {
@@ -60,8 +79,20 @@ func Softmax(logits []float64, mask []bool) []float64 {
 // Minimizing L with this gradient performs gradient ascent on expected
 // advantage-weighted log-likelihood (Eq. 8 of the paper).
 func PolicyGradient(logits []float64, mask []bool, action int, advantage float64) []float64 {
-	probs := Softmax(logits, mask)
-	grad := make([]float64, len(logits))
+	return PolicyGradientInto(logits, mask, action, advantage,
+		make([]float64, len(logits)), make([]float64, len(logits)))
+}
+
+// PolicyGradientInto is PolicyGradient through caller scratch: probs and
+// grad must have the logits' length. Returns grad.
+func PolicyGradientInto(logits []float64, mask []bool, action int, advantage float64, probs, grad []float64) []float64 {
+	if len(grad) != len(logits) {
+		panic("nn: PolicyGradientInto scratch length mismatch")
+	}
+	probs = SoftmaxInto(logits, mask, probs)
+	for i := range grad {
+		grad[i] = 0
+	}
 	for i, p := range probs {
 		if mask != nil && !mask[i] {
 			continue
@@ -79,17 +110,28 @@ func PolicyGradient(logits []float64, mask []bool, action int, advantage float64
 // loss gradient encourages exploration), where H = -Σ π log π over the
 // masked softmax.
 func EntropyBonusGradient(logits []float64, mask []bool, coef float64) []float64 {
-	probs := Softmax(logits, mask)
+	return EntropyBonusGradientInto(logits, mask, coef,
+		make([]float64, len(logits)), make([]float64, len(logits)))
+}
+
+// EntropyBonusGradientInto is EntropyBonusGradient through caller scratch:
+// probs and grad must have the logits' length. Returns grad.
+func EntropyBonusGradientInto(logits []float64, mask []bool, coef float64, probs, grad []float64) []float64 {
+	if len(grad) != len(logits) {
+		panic("nn: EntropyBonusGradientInto scratch length mismatch")
+	}
+	probs = SoftmaxInto(logits, mask, probs)
 	// H = -Σ p_i log p_i ; dH/dlogit_j = -p_j (log p_j + H... ) — derive:
 	// dH/dl_j = -p_j * (log p_j - Σ_k p_k log p_k)
 	var ent float64
-	for i, p := range probs {
+	for _, p := range probs {
 		if p > 0 {
 			ent -= p * math.Log(p)
 		}
-		_ = i
 	}
-	grad := make([]float64, len(logits))
+	for i := range grad {
+		grad[i] = 0
+	}
 	for i, p := range probs {
 		if p <= 0 {
 			continue

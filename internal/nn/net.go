@@ -75,6 +75,15 @@ type Dense struct {
 	// accumulated gradients
 	GradW *Mat
 	GradB []float64
+
+	// layer-owned scratch, reused call to call so the steady-state training
+	// loop allocates nothing: trOut backs Forward(train=true) output, and
+	// bwGz/bwGw/bwGx back Backward's intermediates. Each is valid only until
+	// the next corresponding call on this layer.
+	trOut *Mat
+	bwGz  *Mat
+	bwGw  *Mat
+	bwGx  *Mat
 }
 
 // NewDense creates a layer with He/Xavier-style initialization drawn from
@@ -95,12 +104,23 @@ func NewDense(src *rng.Source, in, out int, act Activation) *Dense {
 	return d
 }
 
-// Forward computes the layer output for a batch (rows are samples).
+// Forward computes the layer output for a batch (rows are samples). With
+// train=true the output is backed by layer-owned scratch: it stays valid
+// through the matching Backward and until the next Forward(train=true) on
+// this layer, and x must likewise stay untouched until Backward consumes it.
+// Inference (train=false) allocates a fresh matrix; the allocation-free
+// inference path is MLP.Forward1/ForwardRows.
 func (d *Dense) Forward(x *Mat, train bool) *Mat {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense expected %d inputs, got %d", d.In, x.Cols))
 	}
-	z := MatMulTransB(x, d.W)
+	var z *Mat
+	if train {
+		d.trOut = MatMulTransBInto(x, d.W, d.trOut)
+		z = d.trOut
+	} else {
+		z = MatMulTransB(x, d.W)
+	}
 	for r := 0; r < z.Rows; r++ {
 		row := z.Row(r)
 		for c := range row {
@@ -115,13 +135,20 @@ func (d *Dense) Forward(x *Mat, train bool) *Mat {
 }
 
 // Backward consumes dL/dout and returns dL/dx, accumulating dL/dW and dL/db.
-// Forward must have been called with train=true.
+// Forward must have been called with train=true. The returned matrix is
+// layer-owned scratch, valid until this layer's next Backward — the chained
+// MLP.Backward copies it into the next layer's own scratch immediately.
+// Gradients accumulate through a reused intermediate in the exact operation
+// order of the original allocating implementation, so repeated
+// Backward-per-ZeroGrad schedules see bit-identical sums.
 func (d *Dense) Backward(gradOut *Mat) *Mat {
 	if d.lastIn == nil {
 		panic("nn: Backward before Forward(train=true)")
 	}
 	// dL/dz = dL/dout * σ'(z)
-	gz := gradOut.Clone()
+	d.bwGz = ensureMat(d.bwGz, gradOut.Rows, gradOut.Cols)
+	gz := d.bwGz
+	copy(gz.Data, gradOut.Data)
 	for r := 0; r < gz.Rows; r++ {
 		grow := gz.Row(r)
 		orow := d.lastOut.Row(r)
@@ -130,8 +157,8 @@ func (d *Dense) Backward(gradOut *Mat) *Mat {
 		}
 	}
 	// dL/dW += gzᵀ @ x ; dL/db += Σ gz rows
-	gw := MatMulTransA(gz, d.lastIn)
-	for i, v := range gw.Data {
+	d.bwGw = MatMulTransAInto(gz, d.lastIn, d.bwGw)
+	for i, v := range d.bwGw.Data {
 		d.GradW.Data[i] += v
 	}
 	for r := 0; r < gz.Rows; r++ {
@@ -141,7 +168,8 @@ func (d *Dense) Backward(gradOut *Mat) *Mat {
 		}
 	}
 	// dL/dx = gz @ W
-	return MatMul(gz, d.W)
+	d.bwGx = MatMulInto(gz, d.W, d.bwGx)
+	return d.bwGx
 }
 
 // ZeroGrad clears the accumulated gradients.
@@ -157,6 +185,45 @@ func (d *Dense) ZeroGrad() {
 // MLP is a stack of dense layers.
 type MLP struct {
 	Layers []*Dense
+
+	// fwd is the serial inference arena behind Forward1; chunkFwd holds one
+	// arena per ForwardRows worker so parallel chunks never share buffers.
+	// rowsOut/rowsArena back ForwardRows results. None of these are shared
+	// by Clone, and checkpoints never touch them.
+	fwd       scratch
+	chunkFwd  []scratch
+	rowsOut   [][]float64
+	rowsArena []float64
+}
+
+// scratch is one inference arena: a reusable input header plus one output
+// buffer per layer. Each goroutine touching an MLP concurrently must use
+// its own scratch (ForwardRows arranges this per worker chunk).
+type scratch struct {
+	in   Mat
+	acts []*Mat
+}
+
+// forward1Into runs single-sample inference through s's buffers and returns
+// the output row, which aliases s and is valid until s is reused. The
+// per-layer kernels are exactly Forward's, so results are bit-identical to
+// the allocating path.
+func (m *MLP) forward1Into(x []float64, s *scratch) []float64 {
+	if len(s.acts) != len(m.Layers) {
+		s.acts = make([]*Mat, len(m.Layers))
+	}
+	s.in = Mat{Rows: 1, Cols: len(x), Data: x}
+	in := &s.in
+	for i, l := range m.Layers {
+		s.acts[i] = MatMulTransBInto(in, l.W, s.acts[i])
+		z := s.acts[i]
+		row := z.Row(0)
+		for c := range row {
+			row[c] = l.Act.apply(row[c] + l.B[c])
+		}
+		in = z
+	}
+	return in.Row(0)
 }
 
 // NewMLP builds a network with the given layer sizes; hidden layers use
@@ -193,9 +260,13 @@ func (m *MLP) Forward(x *Mat, train bool) *Mat {
 }
 
 // Forward1 runs the network on a single sample and returns the output row.
+// The row aliases the MLP's internal inference arena: it is valid until the
+// next Forward1 or ForwardRows call on this network, and callers keeping it
+// longer must copy it out. Like all scratch-backed paths, Forward1 is not
+// safe for concurrent calls on a shared MLP — ForwardRows is the parallel
+// entry point.
 func (m *MLP) Forward1(x []float64) []float64 {
-	out := m.Forward(FromSlice(1, len(x), x), false)
-	return out.Row(0)
+	return m.forward1Into(x, &m.fwd)
 }
 
 // Backward propagates dL/dout through all layers, accumulating gradients.

@@ -49,12 +49,40 @@ func (m *Mat) Clone() *Mat {
 	return out
 }
 
+// ensureMat returns out reshaped to rows×cols, reusing its storage when the
+// capacity allows and allocating otherwise (out may be nil). Contents are
+// unspecified: the Into kernels below either zero or overwrite every cell.
+func ensureMat(out *Mat, rows, cols int) *Mat {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("nn: invalid matrix shape %dx%d", rows, cols))
+	}
+	n := rows * cols
+	if out == nil {
+		return &Mat{Rows: rows, Cols: cols, Data: make([]float64, n)}
+	}
+	if cap(out.Data) < n {
+		out.Data = make([]float64, n)
+	} else {
+		out.Data = out.Data[:n]
+	}
+	out.Rows, out.Cols = rows, cols
+	return out
+}
+
 // MatMul computes a @ b into a new matrix.
-func MatMul(a, b *Mat) *Mat {
+func MatMul(a, b *Mat) *Mat { return MatMulInto(a, b, nil) }
+
+// MatMulInto computes a @ b into out's storage (reused when it fits, nil
+// allocates) and returns out. The accumulation order is identical to MatMul,
+// so results are bit-for-bit equal.
+func MatMulInto(a, b, out *Mat) *Mat {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: MatMul shape mismatch %dx%d @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMat(a.Rows, b.Cols)
+	out = ensureMat(out, a.Rows, b.Cols)
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		orow := out.Row(i)
@@ -72,11 +100,16 @@ func MatMul(a, b *Mat) *Mat {
 }
 
 // MatMulTransB computes a @ bᵀ into a new matrix.
-func MatMulTransB(a, b *Mat) *Mat {
+func MatMulTransB(a, b *Mat) *Mat { return MatMulTransBInto(a, b, nil) }
+
+// MatMulTransBInto computes a @ bᵀ into out's storage (reused when it fits,
+// nil allocates) and returns out. Every cell is written, so no zeroing pass
+// is needed; results are bit-for-bit equal to MatMulTransB.
+func MatMulTransBInto(a, b, out *Mat) *Mat {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MatMulTransB shape mismatch %dx%d @ (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMat(a.Rows, b.Rows)
+	out = ensureMat(out, a.Rows, b.Rows)
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		for j := 0; j < b.Rows; j++ {
@@ -92,11 +125,19 @@ func MatMulTransB(a, b *Mat) *Mat {
 }
 
 // MatMulTransA computes aᵀ @ b into a new matrix.
-func MatMulTransA(a, b *Mat) *Mat {
+func MatMulTransA(a, b *Mat) *Mat { return MatMulTransAInto(a, b, nil) }
+
+// MatMulTransAInto computes aᵀ @ b into out's storage (reused when it fits,
+// nil allocates) and returns out. The accumulation order is identical to
+// MatMulTransA, so results are bit-for-bit equal.
+func MatMulTransAInto(a, b, out *Mat) *Mat {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("nn: MatMulTransA shape mismatch (%dx%d)ᵀ @ %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMat(a.Cols, b.Cols)
+	out = ensureMat(out, a.Cols, b.Cols)
+	for i := range out.Data {
+		out.Data[i] = 0
+	}
 	for k := 0; k < a.Rows; k++ {
 		arow := a.Row(k)
 		brow := b.Row(k)

@@ -70,7 +70,7 @@ func CollectDemosFrom(build sim.EnvBuilder, city *synth.City, guide Policy, from
 		RunEpisode(env,
 			func(id int, obs sim.Observation) int { return chooser(id, obs) },
 			alpha, gamma,
-			func(id int, tr Transition) { buf = append(buf, tr) },
+			func(id int, tr Transition) { buf = append(buf, tr.Detach()) },
 		)
 		return buf
 	}

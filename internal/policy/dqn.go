@@ -56,6 +56,15 @@ type DQN struct {
 	src    *rng.Source
 	steps  int
 
+	// learn/Act scratch, reused call to call (shapes are fixed by Batch and
+	// the observation/action widths, so steady-state training allocates
+	// nothing here). Never serialized.
+	lx      *nn.Mat
+	lgrad   *nn.Mat
+	lidx    []int
+	actObs  []sim.Observation
+	actRows [][]float64
+
 	exploring bool
 	eps       float64
 
@@ -176,8 +185,12 @@ func (d *DQN) chooseFromQ(obs sim.Observation, qs []float64, eps float64) int {
 // worker count.
 func (d *DQN) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 	actions := make(map[int]sim.Action, len(vacant))
-	obs := make([]sim.Observation, len(vacant))
-	rows := make([][]float64, len(vacant))
+	if cap(d.actObs) < len(vacant) {
+		d.actObs = make([]sim.Observation, len(vacant))
+		d.actRows = make([][]float64, len(vacant))
+	}
+	obs := d.actObs[:len(vacant)]
+	rows := d.actRows[:len(vacant)]
 	for i, id := range vacant {
 		obs[i] = env.Observe(id)
 		rows[i] = obs[i].Features
@@ -193,15 +206,28 @@ func (d *DQN) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 	return actions
 }
 
-// remember stores a transition in the ring-buffer replay memory.
+// remember stores a transition in the fixed-capacity ring-buffer replay
+// memory, copying Obs/NextObs into the slot's own storage — the incoming
+// slices borrow RunEpisode/env buffers, and an overwritten slot donates its
+// old backing arrays, so a full ring recycles storage instead of allocating.
 func (d *DQN) remember(tr Transition) {
 	d.tel.Transitions.Inc()
+	var slot *Transition
 	if len(d.replay) < d.Buffer {
-		d.replay = append(d.replay, tr)
-		return
+		d.replay = append(d.replay, Transition{})
+		slot = &d.replay[len(d.replay)-1]
+	} else {
+		slot = &d.replay[d.rpPos]
+		d.rpPos = (d.rpPos + 1) % d.Buffer
 	}
-	d.replay[d.rpPos] = tr
-	d.rpPos = (d.rpPos + 1) % d.Buffer
+	obs, next := slot.Obs, slot.NextObs
+	*slot = tr
+	slot.Obs = append(obs[:0], tr.Obs...)
+	if tr.NextObs != nil {
+		slot.NextObs = append(next[:0], tr.NextObs...)
+	} else {
+		slot.NextObs = nil
+	}
 }
 
 // learn samples a minibatch and takes one TD step:
@@ -211,9 +237,17 @@ func (d *DQN) learn() {
 		return
 	}
 	d.net.ZeroGrad()
-	x := nn.NewMat(d.Batch, sim.FeatureSize)
-	grad := nn.NewMat(d.Batch, sim.NumActions)
-	idxs := make([]int, d.Batch)
+	if d.lx == nil {
+		d.lx = nn.NewMat(d.Batch, sim.FeatureSize)
+		d.lgrad = nn.NewMat(d.Batch, sim.NumActions)
+		d.lidx = make([]int, d.Batch)
+	}
+	x, grad, idxs := d.lx, d.lgrad, d.lidx
+	// x's rows are fully overwritten below; grad is sparse and must start
+	// from zero.
+	for i := range grad.Data {
+		grad.Data[i] = 0
+	}
 	for b := 0; b < d.Batch; b++ {
 		idxs[b] = d.src.Intn(len(d.replay))
 		copy(x.Row(b), d.replay[idxs[b]].Obs)

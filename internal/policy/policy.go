@@ -44,6 +44,11 @@ func SlotReward(env sim.Environment, id int, alpha, pfDelta float64) float64 {
 // a decision slot, the discounted reward accumulated until the taxi's next
 // decision, and the observation there. Elapsed counts slots between the two
 // decisions (≥1), used to discount the bootstrap term by gamma^Elapsed.
+//
+// Inside RunEpisode's onTransition callback, Obs and NextObs borrow reused
+// buffers that the same taxi's next decision overwrites: a callback that
+// stores the transition beyond its own return must Detach it (or copy the
+// slices into storage it owns, as the DQN replay ring does).
 type Transition struct {
 	Obs      []float64
 	Mask     [sim.NumActions]bool
@@ -53,6 +58,17 @@ type Transition struct {
 	NextMask [sim.NumActions]bool
 	Elapsed  int
 	Terminal bool
+}
+
+// Detach returns the transition with Obs and NextObs copied into fresh
+// storage, safe to keep after the onTransition callback returns. A nil
+// NextObs (terminal transitions) stays nil.
+func (tr Transition) Detach() Transition {
+	tr.Obs = append([]float64(nil), tr.Obs...)
+	if tr.NextObs != nil {
+		tr.NextObs = append([]float64(nil), tr.NextObs...)
+	}
+	return tr
 }
 
 // Chooser selects a flattened action index given a taxi's observation.
@@ -69,7 +85,11 @@ type Chooser func(id int, obs sim.Observation) int
 // fairness term — are discounted by gamma per slot.
 func RunEpisode(env sim.Environment, choose Chooser, alpha, gamma float64, onTransition func(id int, tr Transition)) (meanReward float64) {
 	type pending struct {
-		obs     sim.Observation
+		// feats is a pend-owned copy of the opening observation's features:
+		// Observation.Features borrows an env buffer the same taxi's next
+		// Observe rewrites, and a transition stays open across many slots.
+		feats   []float64
+		mask    [sim.NumActions]bool
 		action  int
 		reward  float64
 		gammaPw float64
@@ -82,18 +102,17 @@ func RunEpisode(env sim.Environment, choose Chooser, alpha, gamma float64, onTra
 	var rewardN int
 	_, pfPrev := env.FleetPEStats()
 
+	actions := make(map[int]sim.Action)
 	for !env.Done() {
 		vacant := env.VacantTaxis()
-		actions := make(map[int]sim.Action, len(vacant))
-		obsNow := make(map[int]sim.Observation, len(vacant))
+		clear(actions)
 		for _, id := range vacant {
 			obs := env.Observe(id)
-			obsNow[id] = obs
 			// Close the previous transition at this new decision point.
 			if pend[id].open && onTransition != nil {
 				onTransition(id, Transition{
-					Obs:      pend[id].obs.Features,
-					Mask:     pend[id].obs.Mask,
+					Obs:      pend[id].feats,
+					Mask:     pend[id].mask,
 					Action:   pend[id].action,
 					Reward:   pend[id].reward,
 					NextObs:  obs.Features,
@@ -103,7 +122,14 @@ func RunEpisode(env sim.Environment, choose Chooser, alpha, gamma float64, onTra
 			}
 			idx := choose(id, obs)
 			actions[id] = sim.ActionFromIndex(idx)
-			pend[id] = pending{obs: obs, action: idx, gammaPw: 1, open: true}
+			p := &pend[id]
+			p.feats = append(p.feats[:0], obs.Features...)
+			p.mask = obs.Mask
+			p.action = idx
+			p.reward = 0
+			p.gammaPw = 1
+			p.elapsed = 0
+			p.open = true
 		}
 
 		env.Step(actions)
@@ -134,8 +160,8 @@ func RunEpisode(env sim.Environment, choose Chooser, alpha, gamma float64, onTra
 				continue
 			}
 			onTransition(id, Transition{
-				Obs:      pend[id].obs.Features,
-				Mask:     pend[id].obs.Mask,
+				Obs:      pend[id].feats,
+				Mask:     pend[id].mask,
 				Action:   pend[id].action,
 				Reward:   pend[id].reward,
 				Elapsed:  pend[id].elapsed,

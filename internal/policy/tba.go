@@ -196,7 +196,7 @@ func (t *TBA) TrainCheckpointed(city *synth.City, episodes, days int, seed int64
 			func(id int, obs sim.Observation) int { return t.sample(obs) },
 			1.0, // selfish: no fairness term
 			t.Gamma,
-			func(id int, tr Transition) { batch = append(batch, tr) },
+			func(id int, tr Transition) { batch = append(batch, tr.Detach()) },
 		)
 		stopEp()
 		t.tel.Episodes.Inc()

@@ -149,3 +149,111 @@ func TestAliasEmptyPanics(t *testing.T) {
 	}()
 	New(1).AliasChoice(NewAlias(nil))
 }
+
+// Edge-case battery for the sampler trio: all-zero tables, single-element
+// tables, NaN and +Inf weights, and float-error fallthrough must each
+// degrade deterministically — no panic, no zero-weight index, no bias
+// toward an arbitrary trailing entry.
+
+func TestSamplerEdgeCaseTable(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		weights []float64
+		// forbidden are indices no sampler may ever return.
+		forbidden []int
+		// want, when >= 0, is the only index every sampler must return.
+		want int
+	}{
+		{"single positive", []float64{3.5}, nil, 0},
+		{"single zero", []float64{0}, nil, 0},
+		{"single negative", []float64{-2}, nil, 0},
+		{"trailing zeros", []float64{1, 2, 0, 0}, []int{2, 3}, -1},
+		{"leading zeros", []float64{0, 0, 1, 2}, []int{0, 1}, -1},
+		{"nan is zero", []float64{1, nan, 2}, []int{1}, -1},
+		{"all nan uniform", []float64{nan, nan}, nil, -1},
+		{"inf dominates", []float64{1, inf, 5}, []int{0, 2}, 1},
+		{"first inf wins", []float64{inf, 2, inf}, []int{1, 2}, 0},
+		{"negatives are zero", []float64{-1, 4, -3}, []int{0, 2}, 1},
+		{"tiny float sums", []float64{1e-300, 2e-300, 0}, []int{2}, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cum, total := CumWeights(tc.weights)
+			alias := NewAlias(tc.weights)
+			src := New(31)
+			for i := 0; i < 2000; i++ {
+				got := [3]int{
+					src.WeightedChoice(tc.weights),
+					src.WeightedChoiceCum(cum, total),
+					src.AliasChoice(alias),
+				}
+				for s, g := range got {
+					if g < 0 || g >= len(tc.weights) {
+						t.Fatalf("sampler %d returned out-of-range %d", s, g)
+					}
+					if tc.want >= 0 && g != tc.want {
+						t.Fatalf("sampler %d returned %d, want %d", s, g, tc.want)
+					}
+					for _, f := range tc.forbidden {
+						if g == f {
+							t.Fatalf("sampler %d drew forbidden index %d (weight %v)", s, f, tc.weights[f])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestWeightedChoiceCumMismatchedTotalDeterministic(t *testing.T) {
+	// A caller-supplied total above the table's own sum pushes draws past
+	// the last prefix; the fallback must land on the last positive-weight
+	// entry, not the final (zero-weight) one — and do so deterministically.
+	cum := []float64{1, 3, 3, 3} // weights {1, 2, 0, 0}
+	src := New(13)
+	for i := 0; i < 2000; i++ {
+		got := src.WeightedChoiceCum(cum, 100) // most draws land past cum[3]=3
+		if got != 0 && got != 1 {
+			t.Fatalf("mismatched-total draw returned zero-weight index %d", got)
+		}
+	}
+}
+
+func TestLastRisingCum(t *testing.T) {
+	cases := []struct {
+		cum  []float64
+		want int
+	}{
+		{[]float64{1, 3, 3, 3}, 1},
+		{[]float64{0, 0, 0}, 0},
+		{[]float64{2}, 0},
+		{[]float64{0, 0, 5}, 2},
+		{[]float64{1, 2, 3}, 2},
+	}
+	for _, tc := range cases {
+		if got := lastRisingCum(tc.cum); got != tc.want {
+			t.Fatalf("lastRisingCum(%v) = %d, want %d", tc.cum, got, tc.want)
+		}
+	}
+}
+
+func TestInfWeightKeepsStreamAlignment(t *testing.T) {
+	// The deterministic +Inf path must still consume exactly one uniform so
+	// interleaved callers stay in lockstep with the finite-weight path.
+	inf := math.Inf(1)
+	weights := []float64{1, inf, 2}
+	cum, total := CumWeights([]float64{1, 4, 2})
+	a := NewAlias(weights)
+	s1, s2 := New(17), New(17)
+	for i := 0; i < 50; i++ {
+		s1.WeightedChoice(weights)
+		s2.WeightedChoiceCum(cum, total)
+		s1.AliasChoice(a)
+		s2.Float64()
+		if got, want := s1.Float64(), s2.Float64(); got != want {
+			t.Fatalf("streams out of lockstep after %d rounds: %v != %v", i+1, got, want)
+		}
+	}
+}

@@ -109,32 +109,44 @@ func (s *Source) Uniform(lo, hi float64) float64 {
 func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
 
 // WeightedChoice returns an index in [0, len(weights)) drawn proportionally
-// to weights. Negative weights are treated as zero. If all weights are zero
-// it returns a uniform index. It panics on an empty slice.
+// to weights. Negative and NaN weights are treated as zero; if no weight is
+// positive it falls back to a uniform index (consuming one Intn draw instead
+// of the usual one Float64). A +Inf weight dominates every finite one: the
+// first such index is returned deterministically, still consuming the one
+// uniform draw so interleaved callers stay stream-aligned. It panics on an
+// empty slice.
 func (s *Source) WeightedChoice(weights []float64) int {
 	if len(weights) == 0 {
 		panic("rng: WeightedChoice with no weights")
 	}
 	var total float64
-	for _, w := range weights {
+	for i, w := range weights {
+		if math.IsInf(w, 1) {
+			s.r.Float64()
+			return i
+		}
 		if w > 0 {
 			total += w
 		}
 	}
-	if total <= 0 {
+	if !(total > 0) {
 		return s.r.Intn(len(weights))
 	}
 	x := s.r.Float64() * total
+	last := 0
 	for i, w := range weights {
-		if w <= 0 {
+		if w <= 0 || math.IsNaN(w) {
 			continue
 		}
 		x -= w
 		if x < 0 {
 			return i
 		}
+		last = i
 	}
-	return len(weights) - 1
+	// Accumulated rounding can leave x at a hair above zero after the final
+	// positive weight; land on that weight, never on a trailing zero entry.
+	return last
 }
 
 // CumWeights precomputes the prefix sums of weights (negatives treated as
@@ -163,10 +175,17 @@ func (s *Source) WeightedChoiceCum(cum []float64, total float64) int {
 	if len(cum) == 0 {
 		panic("rng: WeightedChoiceCum with no weights")
 	}
-	if total <= 0 {
+	if !(total > 0) { // covers total <= 0 and a NaN total alike
 		return s.r.Intn(len(cum))
 	}
 	x := s.r.Float64() * total
+	if !(x < cum[len(cum)-1]) {
+		// A total exceeding the table's own sum (caller mismatch, or an
+		// overflowed/Inf table) can push the draw past the last prefix; fall
+		// to the last index whose weight is positive rather than blindly to
+		// the final (possibly zero-weight) entry.
+		return lastRisingCum(cum)
+	}
 	// Smallest index with cum[i] > x: the strict inequality mirrors the
 	// linear scan's `x - w < 0` rule, and flat spots (zero-weight entries)
 	// can never satisfy it, so the drawn index always has positive weight.
@@ -182,6 +201,18 @@ func (s *Source) WeightedChoiceCum(cum []float64, total float64) int {
 	return lo
 }
 
+// lastRisingCum returns the index of the last strict rise in a prefix-sum
+// table — the last entry with positive weight — or 0 when the table never
+// rises.
+func lastRisingCum(cum []float64) int {
+	for i := len(cum) - 1; i > 0; i-- {
+		if cum[i] > cum[i-1] {
+			return i
+		}
+	}
+	return 0
+}
+
 // Alias is a Walker alias table: an O(1)-per-draw sampler for a fixed
 // discrete distribution. Entry i either keeps its own index (with
 // probability prob[i]) or defers to alias[i].
@@ -190,14 +221,24 @@ type Alias struct {
 	alias []int32
 }
 
-// NewAlias builds the alias table for weights (negatives treated as zero).
-// Building is O(n); every subsequent draw costs one uniform and two array
-// reads. A distribution with no positive weight yields a uniform table.
+// NewAlias builds the alias table for weights (negatives and NaNs treated
+// as zero; the first +Inf weight, if any, dominates and is drawn with
+// certainty). Building is O(n); every subsequent draw costs one uniform and
+// two array reads. A distribution with no positive weight yields a uniform
+// table.
 func NewAlias(weights []float64) Alias {
 	n := len(weights)
 	a := Alias{prob: make([]float64, n), alias: make([]int32, n)}
 	var total float64
-	for _, w := range weights {
+	for i, w := range weights {
+		if math.IsInf(w, 1) {
+			// Degenerate certainty: every cell defers to the infinite entry.
+			for j := range a.prob {
+				a.alias[j] = int32(i)
+			}
+			a.prob[i] = 1
+			return a
+		}
 		if w > 0 {
 			total += w
 		}
@@ -205,7 +246,7 @@ func NewAlias(weights []float64) Alias {
 	if n == 0 {
 		return a
 	}
-	if total <= 0 {
+	if !(total > 0) {
 		for i := range a.prob {
 			a.prob[i] = 1
 			a.alias[i] = int32(i)
@@ -218,8 +259,8 @@ func NewAlias(weights []float64) Alias {
 	small := make([]int32, 0, n)
 	large := make([]int32, 0, n)
 	for i, w := range weights {
-		if w < 0 {
-			w = 0
+		if !(w > 0) {
+			w = 0 // negatives and NaNs carry no mass
 		}
 		scaled[i] = w * float64(n) / total
 		if scaled[i] < 1 {

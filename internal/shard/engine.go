@@ -29,6 +29,17 @@ import (
 type Engine struct {
 	*sim.Core
 	shards int
+
+	// Phase closures, allocated once: Step hands each phase to each as a
+	// func value, and a closure literal built inside Step escapes — at one
+	// allocation per phase per call that was the driver's entire steady-state
+	// allocation budget. The closures read their per-call parameters
+	// (actions, the minute cursor) from the two fields below, which Step
+	// writes between barriers; under multi-shard fan-out the writes
+	// happen-before the goroutine launches that read them.
+	beginFn, genFn, minuteFn, endFn func(k int)
+	stepActions                     map[int]sim.Action
+	stepMinute                      int
 }
 
 // Engine implements the full environment surface.
@@ -39,7 +50,12 @@ var _ sim.Environment = (*Engine)(nil)
 func New(city *synth.City, opts sim.Options, shards int, seed int64) *Engine {
 	owner := Assign(city.Partition, shards)
 	core := sim.NewCore(city, opts, owner, seed)
-	return &Engine{Core: core, shards: core.Shards()}
+	e := &Engine{Core: core, shards: core.Shards()}
+	e.beginFn = func(k int) { e.Core.BeginSlotApply(k, e.stepActions) }
+	e.genFn = func(k int) { e.Core.GenerateAndMatch(k) }
+	e.minuteFn = func(k int) { e.Core.RunMinute(k, e.stepMinute) }
+	e.endFn = func(k int) { e.Core.EndSlot(k) }
+	return e
 }
 
 // Builder returns a sim.EnvBuilder that constructs sharded engines with a
@@ -62,16 +78,19 @@ func (e *Engine) Step(actions map[int]sim.Action) {
 		panic("shard: Step after Done")
 	}
 	c := e.Core
-	e.each(func(k int) { c.BeginSlotApply(k, actions) })
+	e.stepActions = actions
+	e.each(e.beginFn)
+	e.stepActions = nil
 	c.RouteMigrants()
-	e.each(func(k int) { c.GenerateAndMatch(k) })
+	e.each(e.genFn)
 	c.SnapshotLoads()
 	start, slotLen := c.Now(), c.SlotLen()
 	for m := start; m < start+slotLen; m++ {
-		e.each(func(k int) { c.RunMinute(k, m) })
+		e.stepMinute = m
+		e.each(e.minuteFn)
 		c.RouteMigrants()
 	}
-	e.each(func(k int) { c.EndSlot(k) })
+	e.each(e.endFn)
 	c.RouteMigrants()
 	c.FinishSlot()
 }

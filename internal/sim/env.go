@@ -199,9 +199,31 @@ type Env struct {
 	// nearStations[region] caches the KStations nearest stations.
 	nearStations [][]geo.Neighbor
 
-	// per-slot caches
+	// per-slot caches. Each is keyed by the slot it was computed for and is
+	// invalidated (slot = -1) together with supplySlot at the end of Step and
+	// on Reset; between Steps the environment is static, so observation-time
+	// fleet scans need to run once per slot, not once per taxi.
 	supplySlot int // slot for which supply is valid
 	supply     []int
+	peSlot     int // slot for which peMean/peVar are valid
+	peMean     float64
+	peVar      float64
+	aggSlot    int // slot for which aggVacant/aggQueued are valid
+	aggVacant  int
+	aggQueued  int
+
+	// Reusable hot-path scratch. obsBufs holds one feature buffer per taxi
+	// (Observation.Features borrows it — see Observe); vacantBuf backs
+	// VacantTaxis; reqBuf backs the slot's demand sample; fcCounts backs the
+	// predictor's per-region counts; regionCands backs matchRequests'
+	// per-region candidate buckets; pendSort is the persistent sorter for
+	// pending requests. None of these carry state across slots.
+	obsBufs     [][]float64
+	vacantBuf   []int
+	reqBuf      []demand.Request
+	fcCounts    []float64
+	regionCands [][]int
+	pendSort    reqsByTime
 
 	res Results
 
@@ -281,6 +303,11 @@ func (e *Env) Reset(seed int64) {
 		e.stations[i] = station.NewState(e.city.Stations.Station(i))
 	}
 	e.supplySlot = -1
+	e.peSlot = -1
+	e.aggSlot = -1
+	if len(e.obsBufs) != len(e.taxis) {
+		e.obsBufs = make([][]float64, len(e.taxis))
+	}
 	e.pending = nil
 	e.closedNow = make([]bool, len(e.stations))
 	e.staleFeats = nil
@@ -323,14 +350,18 @@ func (e *Env) Done() bool { return e.nowMin >= e.endMin }
 func (e *Env) InvalidActions() int { return e.invalidActions }
 
 // VacantTaxis returns the IDs of taxis awaiting a displacement decision
-// this slot, ascending.
+// this slot, ascending. The slice borrows an environment-owned buffer that
+// the next VacantTaxis call (including the one inside Step) rewrites —
+// within one slot every call produces identical contents, so holding it
+// across a single Step is safe, but callers keeping IDs longer must copy.
 func (e *Env) VacantTaxis() []int {
-	var out []int
+	out := e.vacantBuf[:0]
 	for i := range e.taxis {
 		if e.taxis[i].state == Cruising {
 			out = append(out, i)
 		}
 	}
+	e.vacantBuf = out
 	return out
 }
 
@@ -424,7 +455,19 @@ func (e *Env) Step(actions map[int]Action) {
 	// 2. Generate this slot's requests (under any scenario demand scaling),
 	// expire pending ones whose patience ran out, and match the rest
 	// oldest-first.
-	reqs := e.city.Demand.SampleScaled(e.demandSrc, slotStart, e.slotLen, e.demandScaleFunc(slotStart))
+	// Per-region sampling through a reused buffer; looping one source over
+	// regions in order with the hook factor inline is exactly
+	// Demand.SampleScaled (same draws, same order), minus its per-slot
+	// allocations. pending copies the requests out, so reuse is safe.
+	reqs := e.reqBuf[:0]
+	for region, n := 0, e.city.Partition.Len(); region < n; region++ {
+		factor := 1.0
+		if e.hooks != nil {
+			factor = e.hooks.DemandScale(region, slotStart)
+		}
+		reqs = e.city.Demand.SampleRegionScaled(reqs, e.demandSrc, region, slotStart, e.slotLen, factor)
+	}
+	e.reqBuf = reqs
 	e.generated += len(reqs)
 	for i := range reqs {
 		e.res.RegionDemand[reqs[i].OriginRegion]++
@@ -437,7 +480,14 @@ func (e *Env) Step(actions map[int]Action) {
 		}
 	}
 	if e.predictor != nil {
-		counts := make([]float64, e.city.Partition.Len())
+		n := e.city.Partition.Len()
+		if cap(e.fcCounts) < n {
+			e.fcCounts = make([]float64, n)
+		}
+		counts := e.fcCounts[:n]
+		for i := range counts {
+			counts[i] = 0
+		}
 		for _, r := range reqs {
 			counts[r.OriginRegion]++
 		}
@@ -457,7 +507,12 @@ func (e *Env) Step(actions map[int]Action) {
 		alive = append(alive, r)
 	}
 	e.pending = alive
-	sort.Slice(e.pending, func(i, j int) bool { return e.pending[i].TimeMin < e.pending[j].TimeMin })
+	// sort.Sort over a persistent sort.Interface applies the same pdqsort as
+	// sort.Slice (identical comparison/swap sequence) without the per-call
+	// closure and swapper allocations.
+	e.pendSort.rs = e.pending
+	sort.Sort(&e.pendSort)
+	e.pendSort.rs = nil
 	e.pending = e.matchRequests(e.pending)
 
 	// 3. Advance the world minute by minute. Station perturbations (outage
@@ -484,7 +539,9 @@ func (e *Env) Step(actions map[int]Action) {
 	if slotEnd == warmupEnd {
 		e.clearAccounting()
 	}
-	e.supplySlot = -1 // invalidate cache
+	e.supplySlot = -1 // invalidate per-slot caches
+	e.peSlot = -1
+	e.aggSlot = -1
 
 	if e.Done() {
 		e.finalize()
@@ -686,8 +743,16 @@ func accrueCrawl(t *taxi, m int, cruiseSpeedKmh float64) {
 // out.
 func (e *Env) matchRequests(reqs []demand.Request) (unmatched []demand.Request) {
 	// Bucket matchable taxis by region: cruising ones, plus relocating ones
-	// at their destination (they can pick up once they arrive).
-	byRegion := make(map[int][]int)
+	// at their destination (they can pick up once they arrive). The buckets
+	// are dense (regions are small ints) and reused across slots; candidates
+	// land in taxi-index order either way.
+	if len(e.regionCands) != e.city.Partition.Len() {
+		e.regionCands = make([][]int, e.city.Partition.Len())
+	}
+	byRegion := e.regionCands
+	for r := range byRegion {
+		byRegion[r] = byRegion[r][:0]
+	}
 	for i := range e.taxis {
 		if s := e.taxis[i].state; s == Cruising || s == Relocating {
 			if e.offDuty(i, e.nowMin) {
@@ -696,6 +761,10 @@ func (e *Env) matchRequests(reqs []demand.Request) (unmatched []demand.Request) 
 			byRegion[e.taxis[i].region] = append(byRegion[e.taxis[i].region], i)
 		}
 	}
+	// Compact unmatched requests in place: the write index never passes the
+	// read index, so the aliasing is safe, and the caller assigns the result
+	// back over the same backing (e.pending).
+	unmatched = reqs[:0]
 	for _, req := range reqs {
 		cands := byRegion[req.OriginRegion]
 		// Pop the longest-waiting candidate (FIFO by vacantSince), a proxy
@@ -1002,24 +1071,39 @@ func (e *Env) PESoFar(id int) float64 {
 
 // FleetPEStats returns the mean and variance of the (floored) cumulative PE
 // across taxis that have been on duty — PF(t) of Eq. 3 evaluated mid-run.
+// The result is cached per slot (the fleet is static between Steps); the
+// two direct passes below add the same terms in the same index order as the
+// original collect-then-sum implementation, so the values are bit-identical.
 func (e *Env) FleetPEStats() (mean, variance float64) {
-	var xs []float64
+	if slot := e.Slot(); e.peSlot == slot {
+		return e.peMean, e.peVar
+	}
+	var n int
 	for i := range e.taxis {
 		if e.taxis[i].acct.OnDutyMin() > 0 {
-			xs = append(xs, e.PESoFar(i))
+			mean += e.PESoFar(i)
+			n++
 		}
 	}
-	if len(xs) == 0 {
-		return 0, 0
+	if n > 0 {
+		mean /= float64(n)
+		for i := range e.taxis {
+			if e.taxis[i].acct.OnDutyMin() > 0 {
+				d := e.PESoFar(i) - mean
+				variance += d * d
+			}
+		}
+		variance /= float64(n)
 	}
-	for _, x := range xs {
-		mean += x
-	}
-	mean /= float64(len(xs))
-	for _, x := range xs {
-		d := x - mean
-		variance += d * d
-	}
-	variance /= float64(len(xs))
+	e.peSlot, e.peMean, e.peVar = e.Slot(), mean, variance
 	return mean, variance
 }
+
+// reqsByTime orders requests by arrival minute. A persistent sort.Interface
+// value lets Step sort pending requests without sort.Slice's per-call
+// closure and reflect-swapper allocations.
+type reqsByTime struct{ rs []demand.Request }
+
+func (s *reqsByTime) Len() int           { return len(s.rs) }
+func (s *reqsByTime) Less(i, j int) bool { return s.rs[i].TimeMin < s.rs[j].TimeMin }
+func (s *reqsByTime) Swap(i, j int)      { s.rs[i], s.rs[j] = s.rs[j], s.rs[i] }

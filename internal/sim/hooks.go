@@ -155,15 +155,6 @@ func (e *Env) record(ev trace.Event) {
 	}
 }
 
-// demandScaleAt returns the hook's demand multiplier for a slot, or nil
-// when no hooks are installed (preserving Sample's exact random stream).
-func (e *Env) demandScaleFunc(slotStart int) func(region int) float64 {
-	if e.hooks == nil {
-		return nil
-	}
-	return func(region int) float64 { return e.hooks.DemandScale(region, slotStart) }
-}
-
 // applyStationPerturbations advances closure and derate state for every
 // station to minute m, evicting queued taxis from closed stations and
 // promoting queued taxis into capacity a lifted derate frees. It runs once

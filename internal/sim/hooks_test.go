@@ -243,7 +243,9 @@ func TestObsStaleFreezesFeatures(t *testing.T) {
 		t.Skip("no vacant taxis after one slot")
 	}
 	id := ids[0]
-	fresh := e.Observe(id) // cached as the last fresh observation
+	// Observation.Features borrows a per-taxi buffer; snapshot it before
+	// later Observe calls on the same taxi rewrite it.
+	fresh := append([]float64(nil), e.Observe(id).Features...)
 
 	staleNow = true
 	e.Step(nil)
@@ -252,7 +254,7 @@ func TestObsStaleFreezesFeatures(t *testing.T) {
 		t.Skip("probe taxi left the vacant pool")
 	}
 	during := e.Observe(id)
-	if !reflect.DeepEqual(during.Features, fresh.Features) {
+	if !reflect.DeepEqual(during.Features, fresh) {
 		t.Fatal("features changed during GPS dropout")
 	}
 	if during.Mask != e.ValidMask(id) {
@@ -261,7 +263,7 @@ func TestObsStaleFreezesFeatures(t *testing.T) {
 
 	staleNow = false
 	after := e.Observe(id)
-	if reflect.DeepEqual(after.Features, fresh.Features) {
+	if reflect.DeepEqual(after.Features, fresh) {
 		t.Fatal("features still frozen after the dropout lifted")
 	}
 }

@@ -238,6 +238,20 @@ type Core struct {
 	mergeEvents  []trace.Event
 	keyBuf       []uint64
 
+	// Reusable hot-path scratch: per-taxi observation buffers (borrowed by
+	// Observation.Features, see Env.Observe for the ownership contract), the
+	// VacantTaxis result buffer, and RouteMigrants' gather slice.
+	obsBufs    [][]float64
+	vacantBuf  []int
+	migrantBuf []int
+
+	// Arena blocks behind tripChunks/chargeChunks. Each slot's chunk is cut
+	// from the current block; exhausted blocks stay alive through the chunks
+	// that reference them while the arena moves on to a geometrically larger
+	// block, so chunk storage costs amortized O(1) allocations per slot.
+	tripArena   []TripStat
+	chargeArena []trace.ChargingEvent
+
 	// Per-slot stat chunks. Appending every slot's trips onto one long
 	// slice costs an amortized-doubling memmove of the whole history; at
 	// full scale that realloc traffic dominates FinishSlot. Chunks bound
@@ -351,8 +365,19 @@ func (c *Core) Reset(seed int64) {
 		RegionDemand: make([]int, n),
 		RegionServed: make([]int, n),
 	}
-	c.tripChunks, c.chargeChunks = nil, nil
+	// Truncate the chunk lists (keeping their backing arrays for the next
+	// episode's appends) and reuse the current arena blocks from the top.
+	// The stale headers past len pin last episode's arena blocks until they
+	// are overwritten — bounded by one episode of chunks, and cheaper than
+	// re-growing the lists every Reset.
+	c.tripChunks = c.tripChunks[:0]
+	c.chargeChunks = c.chargeChunks[:0]
 	c.tripCount, c.chargeCount = 0, 0
+	c.tripArena = c.tripArena[:0]
+	c.chargeArena = c.chargeArena[:0]
+	if len(c.obsBufs) != len(c.taxis) {
+		c.obsBufs = make([][]float64, len(c.taxis))
+	}
 	c.generated = 0
 	c.invalidActions = 0
 	c.finalized = false
@@ -363,7 +388,15 @@ func (c *Core) Reset(seed int64) {
 		kn.cal.reset(c.endMin)
 		kn.charging = kn.charging[:0]
 		kn.pendingPlug = kn.pendingPlug[:0]
-		kn.pending = make(map[int][]demand.Request)
+		// Keep the pending map and its per-region buckets across episodes:
+		// the buckets are the match loop's working storage, and dropping
+		// them re-pays their growth allocations every Reset.
+		if kn.pending == nil {
+			kn.pending = make(map[int][]demand.Request)
+		}
+		for r, s := range kn.pending {
+			kn.pending[r] = s[:0]
+		}
 		kn.outbox = kn.outbox[:0]
 		kn.events = kn.events[:0]
 		kn.trips = kn.trips[:0]
@@ -470,14 +503,16 @@ func (c *Core) Done() bool { return c.nowMin >= c.endMin }
 func (c *Core) InvalidActions() int { return c.invalidActions }
 
 // VacantTaxis returns the IDs of taxis awaiting a displacement decision
-// this slot, ascending.
+// this slot, ascending. The slice borrows a core-owned buffer rewritten by
+// the next call; see Env.VacantTaxis for the reuse contract.
 func (c *Core) VacantTaxis() []int {
-	var out []int
+	out := c.vacantBuf[:0]
 	for i := range c.taxis {
 		if c.taxis[i].state == Cruising {
 			out = append(out, i)
 		}
 	}
+	c.vacantBuf = out
 	return out
 }
 
@@ -603,7 +638,7 @@ func (c *Core) ValidMask(id int) [NumActions]bool {
 // call into O(1) amortized.
 func (c *Core) Observe(id int) Observation {
 	t := &c.taxis[id]
-	f := make([]float64, 0, FeatureSize)
+	f := c.obsBufs[id][:0]
 	now := c.nowMin
 	dayFrac := float64(now%(24*60)) / (24 * 60)
 
@@ -615,12 +650,12 @@ func (c *Core) Observe(id int) Observation {
 	f = append(f, t.batt.SoC, clampF(peGap, -2, 2), clampF(vacancyAge, 0, 4))
 
 	supply := c.regionSupply()
-	f = append(f, c.regionTriple(t.region, supply, now)...)
+	f = c.appendRegionTriple(f, t.region, supply, now)
 
 	nbs := c.city.Partition.Region(t.region).Neighbors
 	for i := 0; i < MaxNeighbors; i++ {
 		if i < len(nbs) {
-			f = append(f, c.regionTriple(nbs[i], supply, now)...)
+			f = c.appendRegionTriple(f, nbs[i], supply, now)
 		} else {
 			f = append(f, 0, 0, 0)
 		}
@@ -663,11 +698,13 @@ func (c *Core) Observe(id int) Observation {
 			c.staleFeats[id] = append(c.staleFeats[id][:0], f...)
 		}
 	}
+	c.obsBufs[id] = f
 	return Observation{Features: f, Mask: c.ValidMask(id)}
 }
 
-// regionTriple returns the (supply, forecast, fare) features of a region.
-func (c *Core) regionTriple(region int, supply []int, now int) []float64 {
+// appendRegionTriple appends the (supply, forecast, fare) features of a
+// region to f.
+func (c *Core) appendRegionTriple(f []float64, region int, supply []int, now int) []float64 {
 	var fc float64
 	switch {
 	case c.opts.NoForecastFeature:
@@ -678,11 +715,11 @@ func (c *Core) regionTriple(region int, supply []int, now int) []float64 {
 		fc = c.city.Demand.ExpectedSlotDemand(region, now, c.slotLen)
 	}
 	fare := c.city.Demand.ExpectedFare(region, hourAt(now))
-	return []float64{
-		float64(supply[region]) / 10,
-		fc / 10,
-		fare / 100,
-	}
+	return append(f,
+		float64(supply[region])/10,
+		fc/10,
+		fare/100,
+	)
 }
 
 // SetHooks installs (or, with nil, removes) a perturbation engine.
@@ -877,11 +914,12 @@ func (c *Core) EndSlot(k int) {
 // RouteMigrants moves every outboxed taxi to the kernel owning its current
 // region, in ascending taxi ID order. Serial: runs only under barriers.
 func (c *Core) RouteMigrants() {
-	var all []int
+	all := c.migrantBuf[:0]
 	for _, kn := range c.kernels {
 		all = append(all, kn.outbox...)
 		kn.outbox = kn.outbox[:0]
 	}
+	c.migrantBuf = all
 	if len(all) == 0 {
 		return
 	}
@@ -937,7 +975,8 @@ func (c *Core) FinishSlot() {
 			c.keyBuf = append(c.keyBuf, uint64(t.PickupMin)<<44|uint64(t.Taxi)<<20|uint64(i))
 		}
 		slices.Sort(c.keyBuf)
-		chunk := make([]TripStat, len(c.keyBuf))
+		var chunk []TripStat
+		c.tripArena, chunk = cutChunk(c.tripArena, len(c.keyBuf))
 		for j, key := range c.keyBuf {
 			chunk[j] = c.mergeTrips[key&(1<<20-1)]
 		}
@@ -951,7 +990,8 @@ func (c *Core) FinishSlot() {
 			c.keyBuf = append(c.keyBuf, uint64(ev.FinishMin)<<44|uint64(ev.VehicleID)<<20|uint64(i))
 		}
 		slices.Sort(c.keyBuf)
-		chunk := make([]trace.ChargingEvent, len(c.keyBuf))
+		var chunk []trace.ChargingEvent
+		c.chargeArena, chunk = cutChunk(c.chargeArena, len(c.keyBuf))
 		for j, key := range c.keyBuf {
 			chunk[j] = c.mergeCharges[key&(1<<20-1)]
 		}
@@ -1040,8 +1080,33 @@ func (c *Core) clearAccounting() {
 		RegionDemand: make([]int, c.city.Partition.Len()),
 		RegionServed: make([]int, c.city.Partition.Len()),
 	}
-	c.tripChunks, c.chargeChunks = nil, nil
+	c.tripChunks = c.tripChunks[:0]
+	c.chargeChunks = c.chargeChunks[:0]
 	c.tripCount, c.chargeCount = 0, 0
+	c.tripArena = c.tripArena[:0]
+	c.chargeArena = c.chargeArena[:0]
+}
+
+// cutChunk cuts an n-record chunk off the end of the arena, starting a fresh
+// block of at least double the previous capacity when the current one cannot
+// fit n more. A superseded block stays reachable only through the chunks
+// already cut from it — nothing is copied — so chunk storage costs amortized
+// O(1) allocations per slot. The chunk's capacity is clipped to its length,
+// keeping later arena growth unreachable through it.
+func cutChunk[T any](arena []T, n int) (newArena, chunk []T) {
+	if cap(arena)-len(arena) < n {
+		size := 2 * cap(arena)
+		if size < n {
+			size = n
+		}
+		if size < 64 {
+			size = 64
+		}
+		arena = make([]T, 0, size)
+	}
+	at := len(arena)
+	newArena = arena[: at+n : cap(arena)]
+	return newArena, newArena[at : at+n : at+n]
 }
 
 // finalize flushes open cruise segments, counts never-served requests, and
@@ -1054,7 +1119,9 @@ func (c *Core) finalize() {
 	for _, kn := range c.kernels {
 		for _, r := range kn.regions {
 			c.res.UnservedRequests += len(kn.pending[r])
-			kn.pending[r] = nil
+			// Truncate, don't nil: the bucket is the match loop's working
+			// storage and the next episode re-pays its growth otherwise.
+			kn.pending[r] = kn.pending[r][:0]
 		}
 	}
 	for i := range c.taxis {

@@ -28,9 +28,15 @@ const (
 
 // Observe builds the observation for a vacant taxi. It is deterministic
 // given the environment state.
+//
+// Features borrows a per-taxi buffer owned by the environment: it stays
+// valid until the same taxi is observed again. Within one slot repeated
+// observations rewrite identical bytes, so holding the slice across calls
+// in the same slot is safe; callers keeping features across Step (replay
+// buffers, demonstration logs) must copy them out.
 func (e *Env) Observe(id int) Observation {
 	t := &e.taxis[id]
-	f := make([]float64, 0, FeatureSize)
+	f := e.obsBufs[id][:0]
 	now := e.nowMin
 	dayFrac := float64(now%(24*60)) / (24 * 60)
 
@@ -45,13 +51,13 @@ func (e *Env) Observe(id int) Observation {
 
 	// Own region triple.
 	supply := e.regionSupply()
-	f = append(f, e.regionTriple(t.region, supply, now)...)
+	f = e.appendRegionTriple(f, t.region, supply, now)
 
 	// Neighbor triples, zero-padded to MaxNeighbors.
 	nbs := e.city.Partition.Region(t.region).Neighbors
 	for i := 0; i < MaxNeighbors; i++ {
 		if i < len(nbs) {
-			f = append(f, e.regionTriple(nbs[i], supply, now)...)
+			f = e.appendRegionTriple(f, nbs[i], supply, now)
 		} else {
 			f = append(f, 0, 0, 0)
 		}
@@ -74,15 +80,7 @@ func (e *Env) Observe(id int) Observation {
 	}
 
 	// Global aggregates.
-	var vacant, queued int
-	for i := range e.taxis {
-		switch e.taxis[i].state {
-		case Cruising:
-			vacant++
-		case Queued, ToStation:
-			queued++
-		}
-	}
+	vacant, queued := e.fleetAggregates()
 	n := float64(len(e.taxis))
 	band := float64(e.city.Tariff.BandAt(now)) / 2
 	f = append(f, float64(vacant)/n, float64(queued)/n, band)
@@ -108,13 +106,34 @@ func (e *Env) Observe(id int) Observation {
 			e.staleFeats[id] = append(e.staleFeats[id][:0], f...)
 		}
 	}
+	e.obsBufs[id] = f
 	return Observation{Features: f, Mask: e.ValidMask(id)}
 }
 
-// regionTriple returns the (supply, forecast, fare) features of a region.
-// The forecast is the oracle expectation by default, the learned predictor
-// under Options.LearnedForecast, or zero under the ablation.
-func (e *Env) regionTriple(region int, supply []int, now int) []float64 {
+// fleetAggregates returns the fleet-wide vacant and charge-bound counts
+// behind the global observation features, cached per slot (the fleet is
+// static between Steps).
+func (e *Env) fleetAggregates() (vacant, queued int) {
+	if slot := e.Slot(); e.aggSlot == slot {
+		return e.aggVacant, e.aggQueued
+	}
+	for i := range e.taxis {
+		switch e.taxis[i].state {
+		case Cruising:
+			vacant++
+		case Queued, ToStation:
+			queued++
+		}
+	}
+	e.aggSlot, e.aggVacant, e.aggQueued = e.Slot(), vacant, queued
+	return vacant, queued
+}
+
+// appendRegionTriple appends the (supply, forecast, fare) features of a
+// region to f. The forecast is the oracle expectation by default, the
+// learned predictor under Options.LearnedForecast, or zero under the
+// ablation.
+func (e *Env) appendRegionTriple(f []float64, region int, supply []int, now int) []float64 {
 	var forecast float64
 	switch {
 	case e.opts.NoForecastFeature:
@@ -125,11 +144,11 @@ func (e *Env) regionTriple(region int, supply []int, now int) []float64 {
 		forecast = e.city.Demand.ExpectedSlotDemand(region, now, e.slotLen)
 	}
 	fare := e.city.Demand.ExpectedFare(region, e.hourAt(now))
-	return []float64{
-		float64(supply[region]) / 10,
-		forecast / 10,
-		fare / 100,
-	}
+	return append(f,
+		float64(supply[region])/10,
+		forecast/10,
+		fare/100,
+	)
 }
 
 func clampF(v, lo, hi float64) float64 {
