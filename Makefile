@@ -124,3 +124,4 @@ bench-record:
 	$(GO) test -run TestRecordShardingBench -recordbench -timeout 1800s .
 	$(GO) test -run TestRecordBatteryBench -recordbench -timeout 1800s .
 	$(GO) test -run TestRecordHotpathBench -recordbench -benchscale=full -timeout 1800s .
+	$(GO) test -run TestRecordNNBench -recordbench -benchscale=full -timeout 1800s .

@@ -142,9 +142,10 @@ var updateAllocFloors = flag.Bool("update-alloc-floors", false,
 
 const allocFloorsPath = "testdata/alloc_floors.json"
 
-// TestAllocGate measures allocs/op of every pinned hot-path benchmark and
-// fails if any exceeds its recorded floor — the regression gate for the
-// zero-allocation work. Floors are exact allocs/op at -benchscale=small
+// TestAllocGate measures allocs/op of every pinned benchmark — the hot-path
+// set here plus the NN-layer set in bench_nn_test.go — and fails if any
+// exceeds its recorded floor: the regression gate for the zero-allocation
+// work. Floors are exact allocs/op at -benchscale=small
 // (steady-state allocation counts do not depend on fleet size, so the gate
 // stays cheap in ci). After a deliberate change, regenerate the floors with
 //
@@ -163,8 +164,9 @@ func TestAllocGate(t *testing.T) {
 			t.Fatalf("alloc-gate: bad %s: %v", allocFloorsPath, err)
 		}
 	}
+	gated := append(hotpathSet(t), nnBenchSet(t)...)
 	measured := map[string]int64{}
-	for _, hb := range hotpathSet(t) {
+	for _, hb := range gated {
 		r := testing.Benchmark(hb.run)
 		measured[hb.name] = r.AllocsPerOp()
 		t.Logf("%-22s %d allocs/op (%d ops)", hb.name, r.AllocsPerOp(), r.N)
@@ -180,7 +182,7 @@ func TestAllocGate(t *testing.T) {
 		t.Logf("wrote %s", allocFloorsPath)
 		return
 	}
-	for _, hb := range hotpathSet(t) {
+	for _, hb := range gated {
 		floor, ok := floors[hb.name]
 		if !ok {
 			t.Errorf("alloc-gate: %s has no recorded floor; run -update-alloc-floors", hb.name)

@@ -45,8 +45,10 @@ const Magic = "FMCK"
 // Version is the current container format version. Bump it when the
 // container layout or any learner payload encoding changes shape — the
 // golden fixtures under testdata/checkpoints/ exist to force that
-// conversation whenever the bytes drift.
-const Version = 1
+// conversation whenever the bytes drift. Version 2 moved the nn weight and
+// Adam-moment payloads to float32 (the tensor backend's native precision);
+// version 1 files fail closed with ErrVersion.
+const Version = 2
 
 // Training phases recorded in the container header.
 const (

@@ -136,6 +136,9 @@ func TestCorruptionBattery(t *testing.T) {
 		{"payload bit flip", flip(44), ErrDigest},
 		{"digest bit flip", flip(len(valid) - 1), ErrDigest},
 		{"future version", Seal(Meta{Version: Version + 1, Kind: "stub", Fingerprint: meta.Fingerprint}, nil), ErrVersion},
+		// Version-1 files carry float64 weight payloads; the header check
+		// must reject them before the float32 payload decoder ever runs.
+		{"previous version (float64-era file)", Seal(Meta{Version: 1, Kind: "stub", Fingerprint: meta.Fingerprint}, nil), ErrVersion},
 		{"kind mismatch", Seal(Meta{Version: Version, Kind: "dqn", Fingerprint: meta.Fingerprint}, nil), ErrKind},
 		{"fingerprint mismatch", Seal(Meta{Version: Version, Kind: "stub", Fingerprint: meta.Fingerprint + 1}, nil), ErrFingerprint},
 		{"payload truncated inside a field", badPayload(func(e *Encoder) { e.Int(1) }), ErrPayload},

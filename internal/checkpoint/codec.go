@@ -57,6 +57,12 @@ func (e *Encoder) Int(v int) { e.I64(int64(v)) }
 // bit-exactly, which is what "byte-identical restart" requires.
 func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
 
+// F32 appends a float32 as its IEEE-754 bit pattern. Introduced with
+// container version 2, when the nn backend moved to float32 storage: weight
+// payloads serialize the exact bits the kernels compute with, so a saved and
+// restored run is byte-identical with no widen/narrow round trip.
+func (e *Encoder) F32(v float32) { e.U32(math.Float32bits(v)) }
+
 // String appends a length-prefixed UTF-8 string (max 64 KiB).
 func (e *Encoder) String(s string) {
 	if len(s) > math.MaxUint16 {
@@ -71,6 +77,14 @@ func (e *Encoder) Floats(xs []float64) {
 	e.U32(uint32(len(xs)))
 	for _, x := range xs {
 		e.F64(x)
+	}
+}
+
+// Floats32 appends a length-prefixed []float32.
+func (e *Encoder) Floats32(xs []float32) {
+	e.U32(uint32(len(xs)))
+	for _, x := range xs {
+		e.F32(x)
 	}
 }
 
@@ -171,6 +185,9 @@ func (d *Decoder) Int() int { return int(d.I64()) }
 // F64 reads a float64 bit pattern.
 func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
 
+// F32 reads a float32 bit pattern.
+func (d *Decoder) F32() float32 { return math.Float32frombits(d.U32()) }
+
 // String reads a length-prefixed string.
 func (d *Decoder) String() string {
 	b := d.take(2)
@@ -212,6 +229,23 @@ func (d *Decoder) Floats() []float64 {
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = d.F64()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+// Floats32 reads a length-prefixed []float32, with the same nil/zero-length
+// byte-stability as Floats.
+func (d *Decoder) Floats32() []float32 {
+	n, ok := d.Count(d.U32(), 4)
+	if !ok || n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = d.F32()
 	}
 	if d.err != nil {
 		return nil

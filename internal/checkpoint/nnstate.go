@@ -10,6 +10,11 @@ import (
 // layer encoding mirrors nn's gob snapshot (shape, activation, weights,
 // biases) but through the deterministic codec, and decoding re-runs the same
 // shape validation as nn.Load: a checkpoint is untrusted input.
+//
+// Container version 2 switched the weight and moment payloads from float64
+// to float32, matching the nn backend's storage: the file holds the exact
+// bits the kernels compute with. Version 1 files fail closed at the header
+// with ErrVersion before any payload decode runs.
 
 // EncodeMLP appends a network's architecture and weights.
 func EncodeMLP(e *Encoder, m *nn.MLP) {
@@ -18,8 +23,8 @@ func EncodeMLP(e *Encoder, m *nn.MLP) {
 		e.Int(l.In)
 		e.Int(l.Out)
 		e.U8(uint8(l.Act))
-		e.Floats(l.W.Data)
-		e.Floats(l.B)
+		e.Floats32(l.W.Data)
+		e.Floats32(l.B)
 	}
 }
 
@@ -42,8 +47,8 @@ func DecodeMLP(d *Decoder) (*nn.MLP, error) {
 	for i := 0; i < n; i++ {
 		in, out := d.Int(), d.Int()
 		act := nn.Activation(d.U8())
-		w := d.Floats()
-		b := d.Floats()
+		w := d.Floats32()
+		b := d.Floats32()
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
@@ -59,7 +64,7 @@ func DecodeMLP(d *Decoder) (*nn.MLP, error) {
 		m.Layers = append(m.Layers, &nn.Dense{
 			In: in, Out: out, Act: act,
 			W: nn.FromSlice(out, in, w), B: b,
-			GradW: nn.NewMat(out, in), GradB: make([]float64, out),
+			GradW: nn.NewMat(out, in), GradB: make([]float32, out),
 		})
 	}
 	return m, nil
@@ -78,10 +83,10 @@ func EncodeAdam(e *Encoder, o *nn.Adam) {
 	e.Int(t)
 	e.U32(uint32(len(m)))
 	for _, s := range m {
-		e.Floats(s)
+		e.Floats32(s)
 	}
 	for _, s := range v {
-		e.Floats(s)
+		e.Floats32(s)
 	}
 }
 
@@ -99,15 +104,15 @@ func DecodeAdam(d *Decoder) (*nn.Adam, error) {
 	if !ok {
 		return nil, d.Err()
 	}
-	var m, v [][]float64
+	var m, v [][]float32
 	if n > 0 {
-		m = make([][]float64, n)
-		v = make([][]float64, n)
+		m = make([][]float32, n)
+		v = make([][]float32, n)
 		for i := range m {
-			m[i] = d.Floats()
+			m[i] = d.Floats32()
 		}
 		for i := range v {
-			v[i] = d.Floats()
+			v[i] = d.Floats32()
 		}
 	}
 	if err := d.Err(); err != nil {

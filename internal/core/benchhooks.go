@@ -1,0 +1,22 @@
+package core
+
+import "repro/internal/policy"
+
+// Benchmark hooks. The module-root recorder (bench_nn_test.go) pins the cost
+// of one batched CMA2C update step in BENCH_nn.json and in the allocation
+// gate, but the update steps are deliberately unexported — outside the Train
+// loop's replay sampling they have no meaning. These wrappers expose exactly
+// one step over a caller-built transition buffer for that recorder and
+// nothing else; they are not part of the training API.
+
+// BenchCriticStep runs one batched critic update over buf at the sampled
+// minibatch indices. Exported only for benchmarks.
+func (f *FairMove) BenchCriticStep(buf []policy.Transition, idxs []int) {
+	f.updateCritic(buf, idxs)
+}
+
+// BenchActorStep runs one batched actor update over buf at the sampled
+// minibatch indices. Exported only for benchmarks.
+func (f *FairMove) BenchActorStep(buf []policy.Transition, idxs []int) {
+	f.updateActor(buf, idxs)
+}

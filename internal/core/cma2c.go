@@ -105,6 +105,22 @@ type FairMove struct {
 	// engine. Set with SetEnvBuilder.
 	env sim.EnvBuilder
 
+	// Update-step scratch (DESIGN.md §9): batch matrices and per-row softmax
+	// buffers owned by the learner and reused across minibatch updates, so
+	// the steady-state critic/actor steps allocate nothing. upX/upXN hold the
+	// sampled observations and next-observations, upY the TD targets, upGrad
+	// the policy-gradient rows, upMSE the critic loss gradient. Never
+	// serialized; checkpoints see only networks and optimizers.
+	upX, upXN, upY *nn.Mat
+	upGrad, upMSE  *nn.Mat
+	upAdvs         []float64
+	upProbs        []float64
+
+	// Act scratch, reused call to call (same pattern as DQN).
+	actObs   []sim.Observation
+	actRows  [][]float64
+	actProbs []float64
+
 	tel coreTel
 }
 
@@ -150,11 +166,7 @@ func (f *FairMove) BeginEpisode(seed int64) { f.src = rng.SplitStable(seed, "cma
 // probs evaluates the masked policy distribution for one observation.
 func (f *FairMove) probs(obs sim.Observation) []float64 {
 	logits := f.actor.Forward1(obs.Features)
-	mask := make([]bool, sim.NumActions)
-	for i := range mask {
-		mask[i] = obs.Mask[i]
-	}
-	return nn.Softmax(logits, mask)
+	return nn.Softmax(logits, obs.Mask[:])
 }
 
 // choose samples an action from the stochastic policy. Execution stays
@@ -177,25 +189,29 @@ func (f *FairMove) choose(obs sim.Observation) int {
 // serially in vacant order — the same rng draw sequence as a per-taxi loop.
 func (f *FairMove) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 	actions := make(map[int]sim.Action, len(vacant))
-	obs := make([]sim.Observation, len(vacant))
-	rows := make([][]float64, len(vacant))
+	if cap(f.actObs) < len(vacant) {
+		f.actObs = make([]sim.Observation, len(vacant))
+		f.actRows = make([][]float64, len(vacant))
+	}
+	obs := f.actObs[:len(vacant)]
+	rows := f.actRows[:len(vacant)]
 	for i, id := range vacant {
 		obs[i] = env.Observe(id)
 		rows[i] = obs[i].Features
 	}
 	logits := f.actor.ForwardRows(rows, f.cfg.Workers)
+	if f.actProbs == nil {
+		f.actProbs = make([]float64, sim.NumActions)
+	}
 	for i, id := range vacant {
-		mask := make([]bool, sim.NumActions)
-		for j := range mask {
-			mask[j] = obs[i].Mask[j]
-		}
-		actions[id] = sim.ActionFromIndex(f.src.WeightedChoice(nn.Softmax(logits[i], mask)))
+		probs := nn.SoftmaxInto(logits[i], obs[i].Mask[:], f.actProbs)
+		actions[id] = sim.ActionFromIndex(f.src.WeightedChoice(probs))
 	}
 	return actions
 }
 
 // value evaluates a critic network on one observation.
-func value(net *nn.MLP, obs []float64) float64 { return net.Forward1(obs)[0] }
+func value(net *nn.MLP, obs []float64) float64 { return float64(net.Forward1(obs)[0]) }
 
 // TrainStats records per-episode training diagnostics.
 type TrainStats struct {
@@ -277,8 +293,8 @@ func (f *FairMove) TrainCheckpointed(city *synth.City, episodes, days int, seed 
 		if batch > len(buf) {
 			batch = len(buf)
 		}
+		idxs := make([]int, batch)
 		for it := 0; it < f.cfg.UpdateIters; it++ {
-			idxs := make([]int, batch)
 			for b := range idxs {
 				idxs[b] = f.src.Intn(len(buf))
 			}
@@ -290,11 +306,10 @@ func (f *FairMove) TrainCheckpointed(city *synth.City, episodes, days int, seed 
 			// drifting into degenerate corners of the action space while
 			// the advantage estimates are still noisy.
 			if len(f.demo) >= batch && it%2 == 1 {
-				didxs := make([]int, batch)
-				for b := range didxs {
-					didxs[b] = f.src.Intn(len(f.demo))
+				for b := range idxs {
+					idxs[b] = f.src.Intn(len(f.demo))
 				}
-				f.cloneActor(f.demo, didxs)
+				f.cloneActor(f.demo, idxs)
 			}
 		}
 		stats.CriticLoss = append(stats.CriticLoss, lossSum/float64(nUpd))
@@ -356,8 +371,8 @@ func (f *FairMove) PretrainCheckpointed(city *synth.City, guide policy.Policy, e
 				batch = len(buf)
 			}
 			iters := len(buf) / batch * 2
+			idxs := make([]int, batch)
 			for it := 0; it < iters; it++ {
-				idxs := make([]int, batch)
 				for b := range idxs {
 					idxs[b] = f.src.Intn(len(buf))
 				}
@@ -378,37 +393,35 @@ func (f *FairMove) PretrainCheckpointed(city *synth.City, guide policy.Policy, e
 }
 
 // cloneActor takes one behavior-cloning step toward the demonstrated
-// actions of a minibatch.
+// actions of a minibatch: one batched forward, fused per-row gradients, one
+// batched backward.
 func (f *FairMove) cloneActor(buf []policy.Transition, idxs []int) {
 	n := len(idxs)
 	f.actor.ZeroGrad()
-	x := nn.NewMat(n, sim.FeatureSize)
+	f.upX = nn.EnsureMat(f.upX, n, sim.FeatureSize)
 	for b, i := range idxs {
-		copy(x.Row(b), buf[i].Obs)
+		f.upX.SetRow(b, buf[i].Obs)
 	}
-	logits := f.actor.Forward(x, true)
-	grad := nn.NewMat(n, sim.NumActions)
+	logits := f.actor.Forward(f.upX, true)
+	f.upGrad = nn.EnsureMat(f.upGrad, n, sim.NumActions)
+	if f.upProbs == nil {
+		f.upProbs = make([]float64, sim.NumActions)
+	}
+	inv := 1 / float64(n)
 	for b, i := range idxs {
-		tr := buf[i]
-		mask := make([]bool, sim.NumActions)
-		for j := range mask {
-			mask[j] = tr.Mask[j]
-		}
-		pg := nn.PolicyGradient(logits.Row(b), mask, tr.Action, 1.0)
-		row := grad.Row(b)
-		for j := range row {
-			row[j] = pg[j] / float64(n)
-		}
+		tr := &buf[i]
+		nn.PolicyGradientRowInto(logits.Row(b), tr.Mask[:], tr.Action, 1.0, 0, inv, f.upProbs, f.upGrad.Row(b))
 	}
-	f.actor.Backward(grad)
+	f.actor.Backward(f.upGrad)
 	_, grads := f.actor.Params()
 	f.tel.actorGrad.Observe(nn.ClipGrads(grads, 5))
 	f.tel.cloneSteps.Inc()
 	f.actorOpt.Step(f.actor)
 }
 
-// tdTarget computes r + β^elapsed · V'(s') (Eq. 7/10), zero bootstrap at
-// the horizon.
+// tdTarget computes r + β^elapsed · V'(s') (Eq. 7/10) for one transition,
+// zero bootstrap at the horizon. The update steps use the batched
+// tdTargetsInto; this scalar form serves diagnostics and tests.
 func (f *FairMove) tdTarget(tr policy.Transition) float64 {
 	y := tr.Reward
 	if !tr.Terminal {
@@ -417,19 +430,51 @@ func (f *FairMove) tdTarget(tr policy.Transition) float64 {
 	return y
 }
 
+// tdTargetsInto fills y (n×1) with r + β^elapsed · V'(s') for the sampled
+// transitions, evaluating the target critic on every next-state in one
+// batched pass. Terminal rows bootstrap zero; their input rows are zeroed
+// (any value would do — the output is discarded) so the batch shape stays
+// fixed.
+func (f *FairMove) tdTargetsInto(buf []policy.Transition, idxs []int, y *nn.Mat) {
+	n := len(idxs)
+	f.upXN = nn.EnsureMat(f.upXN, n, sim.FeatureSize)
+	for b, i := range idxs {
+		tr := &buf[i]
+		if tr.Terminal || tr.NextObs == nil {
+			row := f.upXN.Row(b)
+			for j := range row {
+				row[j] = 0
+			}
+		} else {
+			f.upXN.SetRow(b, tr.NextObs)
+		}
+	}
+	next := f.targetCritic.ForwardBatch(f.upXN, 1)
+	for b, i := range idxs {
+		tr := &buf[i]
+		t := tr.Reward
+		if !tr.Terminal {
+			t += math.Pow(f.cfg.Gamma, float64(tr.Elapsed)) * next.At(b, 0)
+		}
+		y.Set(b, 0, t)
+	}
+}
+
 // updateCritic takes one minibatch step on L(θv) = (V(s) − y)² (Eq. 6) and
-// returns the batch loss.
+// returns the batch loss. The target pass, prediction, and backprop each run
+// as one batched GEMM over learner-owned scratch.
 func (f *FairMove) updateCritic(buf []policy.Transition, idxs []int) float64 {
 	n := len(idxs)
-	x := nn.NewMat(n, sim.FeatureSize)
-	y := nn.NewMat(n, 1)
+	f.upX = nn.EnsureMat(f.upX, n, sim.FeatureSize)
 	for b, i := range idxs {
-		copy(x.Row(b), buf[i].Obs)
-		y.Set(b, 0, f.tdTarget(buf[i]))
+		f.upX.SetRow(b, buf[i].Obs)
 	}
+	f.upY = nn.EnsureMat(f.upY, n, 1)
+	f.tdTargetsInto(buf, idxs, f.upY)
 	f.critic.ZeroGrad()
-	pred := f.critic.Forward(x, true)
-	loss, grad := nn.MSELoss(pred, y)
+	pred := f.critic.Forward(f.upX, true)
+	loss, grad := nn.MSELossInto(pred, f.upY, f.upMSE)
+	f.upMSE = grad
 	f.critic.Backward(grad)
 	_, grads := f.critic.Params()
 	f.tel.criticGrad.Observe(nn.ClipGrads(grads, 5))
@@ -447,16 +492,24 @@ func (f *FairMove) updateCritic(buf []policy.Transition, idxs []int) float64 {
 func (f *FairMove) updateActor(buf []policy.Transition, idxs []int) float64 {
 	n := len(idxs)
 	f.actor.ZeroGrad()
-	x := nn.NewMat(n, sim.FeatureSize)
+	f.upX = nn.EnsureMat(f.upX, n, sim.FeatureSize)
 	for b, i := range idxs {
-		copy(x.Row(b), buf[i].Obs)
+		f.upX.SetRow(b, buf[i].Obs)
 	}
-	logits := f.actor.Forward(x, true)
+	logits := f.actor.Forward(f.upX, true)
 
-	advs := make([]float64, n)
+	// Advantage = batched TD target − batched critic value, both one GEMM
+	// pass over the same observation batch.
+	f.upY = nn.EnsureMat(f.upY, n, 1)
+	f.tdTargetsInto(buf, idxs, f.upY)
+	vals := f.critic.ForwardBatch(f.upX, 1)
+	if cap(f.upAdvs) < n {
+		f.upAdvs = make([]float64, n)
+	}
+	advs := f.upAdvs[:n]
 	var mean float64
-	for b, i := range idxs {
-		advs[b] = f.tdTarget(buf[i]) - value(f.critic, buf[i].Obs)
+	for b := range idxs {
+		advs[b] = f.upY.At(b, 0) - vals.At(b, 0)
 		mean += advs[b]
 	}
 	mean /= float64(n)
@@ -477,21 +530,16 @@ func (f *FairMove) updateActor(buf []policy.Transition, idxs []int) float64 {
 		}
 	}
 
-	grad := nn.NewMat(n, sim.NumActions)
-	for b, i := range idxs {
-		tr := buf[i]
-		mask := make([]bool, sim.NumActions)
-		for j := range mask {
-			mask[j] = tr.Mask[j]
-		}
-		pg := nn.PolicyGradient(logits.Row(b), mask, tr.Action, advs[b])
-		eg := nn.EntropyBonusGradient(logits.Row(b), mask, f.cfg.EntropyCoef)
-		row := grad.Row(b)
-		for j := range row {
-			row[j] = (pg[j] + eg[j]) / float64(n)
-		}
+	f.upGrad = nn.EnsureMat(f.upGrad, n, sim.NumActions)
+	if f.upProbs == nil {
+		f.upProbs = make([]float64, sim.NumActions)
 	}
-	f.actor.Backward(grad)
+	inv := 1 / float64(n)
+	for b, i := range idxs {
+		tr := &buf[i]
+		nn.PolicyGradientRowInto(logits.Row(b), tr.Mask[:], tr.Action, advs[b], f.cfg.EntropyCoef, inv, f.upProbs, f.upGrad.Row(b))
+	}
+	f.actor.Backward(f.upGrad)
 	_, grads := f.actor.Params()
 	f.tel.actorGrad.Observe(nn.ClipGrads(grads, 5))
 	f.tel.actorSteps.Inc()

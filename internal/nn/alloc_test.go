@@ -7,17 +7,20 @@ import (
 )
 
 // refForward1 is a deliberately naive fresh-allocation forward pass using
-// the same accumulation order as MatMulTransBInto (ascending k) and the
-// same bias-then-activation epilogue, so its float64 results must be
-// bit-identical to the scratch-backed Forward1 — any divergence means the
-// buffer reuse changed an operation order.
-func refForward1(m *MLP, x []float64) []float64 {
-	in := append([]float64(nil), x...)
+// the same per-element accumulation order as the blocked kernel (one float32
+// chain, ascending k) and the same bias-then-activation epilogue, so its
+// results must be bit-identical to the arena-backed Forward1 — any
+// divergence means blocking or buffer reuse changed an operation order.
+func refForward1(m *MLP, x []float64) []float32 {
+	in := make([]float32, len(x))
+	for i, v := range x {
+		in[i] = float32(v)
+	}
 	for _, l := range m.Layers {
-		out := make([]float64, l.Out)
+		out := make([]float32, l.Out)
 		for j := 0; j < l.Out; j++ {
 			w := l.W.Row(j)
-			var s float64
+			var s float32
 			for k := range in {
 				s += in[k] * w[k]
 			}
@@ -53,7 +56,7 @@ func TestForward1MatchesFreshAllocReference(t *testing.T) {
 		}
 		for j := range want {
 			if got[j] != want[j] {
-				t.Fatalf("input %d output %d: scratch path %v != reference %v (must be bit-identical)", i, j, got[j], want[j])
+				t.Fatalf("input %d output %d: arena path %v != reference %v (must be bit-identical)", i, j, got[j], want[j])
 			}
 		}
 	}
@@ -61,7 +64,7 @@ func TestForward1MatchesFreshAllocReference(t *testing.T) {
 
 func TestForward1ZeroAlloc(t *testing.T) {
 	m, inputs := testNet(t)
-	m.Forward1(inputs[0]) // allocate the scratch once
+	m.Forward1(inputs[0]) // allocate the arena once
 	i := 0
 	allocs := testing.AllocsPerRun(200, func() {
 		m.Forward1(inputs[i%len(inputs)])
@@ -80,5 +83,46 @@ func TestForwardRowsSerialZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state serial ForwardRows allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestForwardBatchZeroAlloc(t *testing.T) {
+	m, inputs := testNet(t)
+	x := NewMat(len(inputs), 55)
+	for i, r := range inputs {
+		x.SetRow(i, r)
+	}
+	m.ForwardBatch(x, 1) // allocate the arenas once
+	allocs := testing.AllocsPerRun(50, func() {
+		m.ForwardBatch(x, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ForwardBatch allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestTrainStepZeroAlloc pins the batched training step — forward, MSE,
+// backward, Adam — at zero steady-state allocations through the layer-owned
+// scratch (trOut, bwGz/bwGw/bwGx, and the transposed pack panels).
+func TestTrainStepZeroAlloc(t *testing.T) {
+	m, inputs := testNet(t)
+	x := NewMat(len(inputs), 55)
+	for i, r := range inputs {
+		x.SetRow(i, r)
+	}
+	y := NewMat(len(inputs), 14)
+	opt := NewAdam(1e-4)
+	var grad *Mat
+	step := func() {
+		m.ZeroGrad()
+		pred := m.Forward(x, true)
+		_, grad = MSELossInto(pred, y, grad)
+		m.Backward(grad)
+		opt.Step(m)
+	}
+	step() // allocate scratch and optimizer moments once
+	allocs := testing.AllocsPerRun(20, func() { step() })
+	if allocs != 0 {
+		t.Fatalf("steady-state train step allocates %v/op, want 0", allocs)
 	}
 }

@@ -2,35 +2,37 @@ package nn
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/parallel"
 )
 
-// ForwardRows evaluates the network on each row independently, sharding the
-// rows across at most workers goroutines. Inference (train=false) reads only
-// the weights, and each worker chunk runs through its own scratch arena, so
-// sharing the MLP across the chunks is safe; every row goes through exactly
-// the same per-row kernels as Forward1, making the output byte-identical to
-// a serial Forward1 loop for any worker count.
+// ForwardBatch runs inference on a whole batch with one blocked GEMM per
+// layer plus a fused bias/activation epilogue — the batch-first path that
+// replaced the old per-row sharding. The returned matrix is the network's
+// last activation arena, reused by the next inference call on this network:
+// callers that keep it longer must copy it out.
 //
-// The returned row slices are views into an MLP-owned result arena, reused
-// by the next ForwardRows call on this network: callers that keep rows
-// beyond that must copy them. Steady-state calls with a stable batch shape
-// allocate nothing.
-func (m *MLP) ForwardRows(rows [][]float64, workers int) [][]float64 {
-	n := len(rows)
-	if cap(m.rowsOut) < n {
-		m.rowsOut = make([][]float64, n)
+// With workers > 1 the batch rows are split into contiguous blocks and each
+// worker runs the full layer stack over its own block — rows are independent
+// in a feed-forward net, so no cross-layer barrier is needed. Every output
+// element is produced by one accumulator chain in ascending-k order
+// regardless of the row partition (see gemm.go), so the result is
+// byte-identical for any worker count. Workers write disjoint row ranges of
+// the shared arenas; steady-state calls with a stable batch shape allocate
+// nothing.
+func (m *MLP) ForwardBatch(x *Mat, workers int) *Mat {
+	if x.Cols != m.InputSize() {
+		panic(fmt.Sprintf("nn: ForwardBatch expected %d features, got %d", m.InputSize(), x.Cols))
 	}
-	out := m.rowsOut[:n]
-	if n == 0 {
-		return out
+	n := x.Rows
+	if len(m.batchActs) != len(m.Layers) {
+		m.batchActs = make([]*Mat, len(m.Layers))
 	}
-	w := m.OutputSize()
-	if cap(m.rowsArena) < n*w {
-		m.rowsArena = make([]float64, n*w)
+	for i, l := range m.Layers {
+		m.batchActs[i] = ensureMat(m.batchActs[i], n, l.Out)
 	}
-	arena := m.rowsArena[:n*w]
+	out := m.batchActs[len(m.batchActs)-1]
 	serial := workers == 1 || n == 1
 	var chunks [][2]int
 	if !serial {
@@ -38,27 +40,59 @@ func (m *MLP) ForwardRows(rows [][]float64, workers int) [][]float64 {
 		serial = len(chunks) <= 1
 	}
 	if serial {
-		for i, r := range rows {
-			dst := arena[i*w : (i+1)*w : (i+1)*w]
-			copy(dst, m.forward1Into(r, &m.fwd))
-			out[i] = dst
-		}
+		m.forwardBlock(x, 0, n)
 		return out
 	}
-	if len(m.chunkFwd) < len(chunks) {
-		m.chunkFwd = make([]scratch, len(chunks))
-	}
-	// Each chunk writes a disjoint range of out and arena through its own
-	// scratch; no worker returns an error, so ForEach cannot fail short of a
-	// panic (which it re-raises here).
+	// Each chunk writes a disjoint row range of every arena; no worker
+	// returns an error, so ForEach cannot fail short of a panic (which it
+	// re-raises here).
 	_ = parallel.ForEach(context.Background(), len(chunks), len(chunks), func(_ context.Context, c int) error {
-		s := &m.chunkFwd[c]
-		for i := chunks[c][0]; i < chunks[c][1]; i++ {
-			dst := arena[i*w : (i+1)*w : (i+1)*w]
-			copy(dst, m.forward1Into(rows[i], s))
-			out[i] = dst
-		}
+		m.forwardBlock(x, chunks[c][0], chunks[c][1])
 		return nil
 	})
+	return out
+}
+
+// forwardBlock runs every layer over rows [lo, hi) of the batch, reading x
+// and writing the corresponding rows of the layer arenas.
+func (m *MLP) forwardBlock(x *Mat, lo, hi int) {
+	in := x
+	rows := hi - lo
+	for li, l := range m.Layers {
+		z := m.batchActs[li]
+		gemmNT(rows, l.Out, l.In, in.Data[lo*in.Cols:], in.Cols, l.W.Data, l.In, z.Data[lo*z.Cols:], z.Cols)
+		for r := lo; r < hi; r++ {
+			applyBiasAct(z.Row(r), l.B, l.Act)
+		}
+		in = z
+	}
+}
+
+// ForwardRows evaluates the network on each row independently. It is a thin
+// adapter over ForwardBatch: the float64 feature rows are narrowed into an
+// MLP-owned input matrix and evaluated in one batched pass.
+//
+// The returned row slices are views into the network's last activation
+// arena, reused by the next inference call on this network: callers that
+// keep rows beyond that must copy them. Steady-state calls with a stable
+// batch shape allocate nothing, and results are byte-identical for any
+// worker count.
+func (m *MLP) ForwardRows(rows [][]float64, workers int) [][]float32 {
+	n := len(rows)
+	if cap(m.rowsOut) < n {
+		m.rowsOut = make([][]float32, n)
+	}
+	out := m.rowsOut[:n]
+	if n == 0 {
+		return out
+	}
+	m.rowsIn = ensureMat(m.rowsIn, n, m.InputSize())
+	for i, r := range rows {
+		m.rowsIn.SetRow(i, r)
+	}
+	res := m.ForwardBatch(m.rowsIn, workers)
+	for i := range out {
+		out[i] = res.Row(i)
+	}
 	return out
 }

@@ -8,7 +8,9 @@ import (
 )
 
 // ForwardRows must match a serial Forward1 loop bit-for-bit at every worker
-// count — the batched-inference half of the serial≡parallel invariant.
+// count — the batched-inference half of the serial≡parallel invariant. With
+// the batch-first backend this is also the batch-vs-single-row equivalence
+// proof: one GEMM over 33 rows against 33 single-row GEMMs.
 func TestForwardRowsMatchesForward1(t *testing.T) {
 	src := rng.New(7)
 	m := NewMLP(src, []int{12, 16, 5}, Tanh, Identity)
@@ -20,11 +22,11 @@ func TestForwardRowsMatchesForward1(t *testing.T) {
 		}
 		rows[i] = r
 	}
-	want := make([][]float64, len(rows))
+	want := make([][]float32, len(rows))
 	for i, r := range rows {
 		// Forward1 returns a view into the MLP's inference arena; copy it
 		// out before the next call reuses the buffer.
-		want[i] = append([]float64(nil), m.Forward1(r)...)
+		want[i] = append([]float32(nil), m.Forward1(r)...)
 	}
 	for _, workers := range []int{1, 2, 3, 8, 64} {
 		got := m.ForwardRows(rows, workers)
@@ -34,5 +36,28 @@ func TestForwardRowsMatchesForward1(t *testing.T) {
 	}
 	if got := m.ForwardRows(nil, 4); len(got) != 0 {
 		t.Fatalf("empty input: got %d rows", len(got))
+	}
+}
+
+// ForwardBatch must agree bit-for-bit with the training-path Forward and
+// with itself at every worker partition.
+func TestForwardBatchMatchesForward(t *testing.T) {
+	src := rng.New(17)
+	m := NewMLP(src, []int{9, 11, 4}, ReLU, Identity)
+	x := NewMat(21, 9)
+	for i := range x.Data {
+		x.Data[i] = float32(src.Uniform(-2, 2))
+	}
+	want := m.Forward(x.Clone(), false)
+	for _, workers := range []int{1, 2, 5, 21, 64} {
+		got := m.ForwardBatch(x, workers)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("workers=%d: shape %dx%d, want %dx%d", workers, got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("workers=%d: element %d differs: %v != %v", workers, i, got.Data[i], want.Data[i])
+			}
+		}
 	}
 }

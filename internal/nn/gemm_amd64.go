@@ -1,0 +1,24 @@
+//go:build amd64
+
+package nn
+
+// haveGemmKernel gates the vectorized panel path in gemmNT. The kernel uses
+// only SSE1/SSE2 instructions (MOVUPS/MOVSS/SHUFPS/MULPS/ADDPS), which are
+// part of the amd64 baseline — no CPUID dispatch is needed and the kernel
+// runs on every amd64 CPU at any GOAMD64 level.
+const haveGemmKernel = true
+
+// gemmKernel4x4 computes the 4×4 block C[0:4][0:4] = A[0:4][0:k] @ panelᵀ,
+// overwriting C. a points at the first of four consecutive A rows (row
+// stride lda floats), c at the top-left of the output block (row stride ldc
+// floats), and panel at a k-major packed block of four B rows: panel[t*4+l]
+// holds B[l][t], so one 16-byte load per contraction step t fetches the four
+// B values multiplied against each A element.
+//
+// Determinism: lane l of accumulator row r is the single chain
+// sum_t a[r][t]*B[l][t] in ascending t, with MULPS and ADDPS rounding each
+// term exactly like the scalar expression `s += av * bv` — bit-identical to
+// gemmNTScalar and the naive reference.
+//
+//go:noescape
+func gemmKernel4x4(k int, a *float32, lda int, panel *float32, c *float32, ldc int)

@@ -1,0 +1,67 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func gemmKernel4x4(k int, a *float32, lda int, panel *float32, c *float32, ldc int)
+//
+// 4×4 SSE micro-kernel for gemmNTPanel. X0–X3 hold the four C rows of the
+// output block; per contraction step t one MOVUPS fetches the four packed B
+// values (panel is k-major) and each A element is broadcast with
+// MOVSS+SHUFPS, multiplied (MULPS), then accumulated (ADDPS) — the same
+// round-to-nearest multiply-then-add as the scalar kernel, lane by lane, in
+// strictly ascending t. SSE1/SSE2 only; valid at any GOAMD64 level.
+//
+// The dispatcher guarantees k ≥ 1.
+TEXT ·gemmKernel4x4(SB), NOSPLIT, $0-48
+	MOVQ a+8(FP), SI
+	MOVQ lda+16(FP), R8
+	LEAQ (SI)(R8*4), R10   // a row 1
+	LEAQ (R10)(R8*4), R11  // a row 2
+	LEAQ (R11)(R8*4), R12  // a row 3
+	MOVQ panel+24(FP), DX
+	MOVQ k+0(FP), CX
+
+	XORPS X0, X0 // C row 0 accumulators
+	XORPS X1, X1 // C row 1
+	XORPS X2, X2 // C row 2
+	XORPS X3, X3 // C row 3
+	XORQ  BX, BX // byte offset into the A rows
+
+loop:
+	MOVUPS (DX), X4        // B[0..3][t]
+
+	MOVSS  (SI)(BX*1), X5  // a[0][t]
+	SHUFPS $0x00, X5, X5
+	MULPS  X4, X5
+	ADDPS  X5, X0
+
+	MOVSS  (R10)(BX*1), X6 // a[1][t]
+	SHUFPS $0x00, X6, X6
+	MULPS  X4, X6
+	ADDPS  X6, X1
+
+	MOVSS  (R11)(BX*1), X7 // a[2][t]
+	SHUFPS $0x00, X7, X7
+	MULPS  X4, X7
+	ADDPS  X7, X2
+
+	MOVSS  (R12)(BX*1), X8 // a[3][t]
+	SHUFPS $0x00, X8, X8
+	MULPS  X4, X8
+	ADDPS  X8, X3
+
+	ADDQ $16, DX
+	ADDQ $4, BX
+	DECQ CX
+	JNZ  loop
+
+	MOVQ   c+32(FP), DI
+	MOVQ   ldc+40(FP), R9
+	MOVUPS X0, (DI)
+	LEAQ   (DI)(R9*4), DI
+	MOVUPS X1, (DI)
+	LEAQ   (DI)(R9*4), DI
+	MOVUPS X2, (DI)
+	LEAQ   (DI)(R9*4), DI
+	MOVUPS X3, (DI)
+	RET

@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package nn
+
+// haveGemmKernel is false on non-amd64 targets: gemmNT always takes the
+// portable gemmNTScalar path, which is bit-identical to the SSE kernel by
+// the determinism contract in gemm.go.
+const haveGemmKernel = false
+
+// gemmKernel4x4 is never reached when haveGemmKernel is false; the stub
+// exists so gemm.go compiles on every target.
+func gemmKernel4x4(k int, a *float32, lda int, panel *float32, c *float32, ldc int) {
+	panic("nn: gemmKernel4x4 called on a target without an assembly kernel")
+}

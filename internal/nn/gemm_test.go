@@ -1,0 +1,180 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// refGemmNT is the naive reference for C = A @ Bᵀ: one accumulator per
+// output element, strictly ascending k. The blocked kernel promises
+// bit-identical results to exactly this order at any block size, which is
+// what makes worker-count byte-identity possible — so the comparisons below
+// are exact equality, not tolerance.
+func refGemmNT(m, n, k int, a, b []float32) []float32 {
+	c := make([]float32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[j*k+p]
+			}
+			c[i*n+j] = s
+		}
+	}
+	return c
+}
+
+func randMat(src *rng.Source, rows, cols int) *Mat {
+	m := NewMat(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = float32(src.Uniform(-2, 2))
+	}
+	return m
+}
+
+// TestGemmBlockedMatchesNaive sweeps shapes around every tiling boundary:
+// the 2×4 micro-kernel (m and n remainders 0/1 and 0..3), the gemmColBlock
+// column block (n straddling 127..130), degenerate vectors, and random
+// ragged shapes. Exact equality everywhere.
+func TestGemmBlockedMatchesNaive(t *testing.T) {
+	src := rng.New(31)
+	type shape struct{ m, n, k int }
+	shapes := []shape{
+		{1, 1, 1}, {1, 1, 7}, {2, 4, 8}, {3, 5, 7}, {2, 3, 1},
+		{1, 4, 16}, {2, 1, 16}, {5, 4, 3}, {4, 5, 2}, {7, 7, 7},
+		{64, 14, 55}, {64, 64, 64}, {33, 17, 9},
+		// straddle the column block
+		{3, 127, 5}, {3, 128, 5}, {3, 129, 5}, {2, 130, 3}, {1, 256, 4},
+		// straddle the 4×4 panel kernel's row/col blocks and gemmPanelK
+		{4, 4, 1}, {4, 4, 3}, {5, 5, 8}, {6, 7, 16}, {7, 4, 5}, {4, 9, 5},
+		{8, 8, 255}, {8, 8, 256}, {8, 8, 257},
+	}
+	for trial := 0; trial < 40; trial++ {
+		shapes = append(shapes, shape{1 + src.Intn(40), 1 + src.Intn(40), 1 + src.Intn(40)})
+	}
+	for _, s := range shapes {
+		a := randMat(src, s.m, s.k)
+		b := randMat(src, s.n, s.k)
+		got := MatMulTransB(a, b)
+		want := refGemmNT(s.m, s.n, s.k, a.Data, b.Data)
+		for i := range want {
+			if got.Data[i] != want[i] {
+				t.Fatalf("shape %dx%dx%d: blocked[%d]=%v naive[%d]=%v (must be bit-identical)",
+					s.m, s.n, s.k, i, got.Data[i], i, want[i])
+			}
+		}
+	}
+}
+
+// TestGemmPanelMatchesScalar pins the dispatcher's bit-identity promise
+// directly: the SSE panel path and the portable scalar path must agree
+// exactly on every shape both can handle, including ragged row/col tails and
+// the k = gemmPanelK boundary. On targets without the assembly kernel the
+// dispatcher is scalar-only and the test is vacuous, so it skips.
+func TestGemmPanelMatchesScalar(t *testing.T) {
+	if !haveGemmKernel {
+		t.Skip("no assembly kernel on this target")
+	}
+	src := rng.New(53)
+	type shape struct{ m, n, k int }
+	shapes := []shape{
+		{4, 4, 1}, {4, 4, 64}, {5, 6, 7}, {7, 9, 13}, {64, 64, 64},
+		{64, 14, 55}, {256, 64, 55}, {6, 5, 256},
+	}
+	for trial := 0; trial < 30; trial++ {
+		shapes = append(shapes, shape{4 + src.Intn(40), 4 + src.Intn(40), 1 + src.Intn(80)})
+	}
+	for _, s := range shapes {
+		a := randMat(src, s.m, s.k)
+		b := randMat(src, s.n, s.k)
+		panel := make([]float32, s.m*s.n)
+		scalar := make([]float32, s.m*s.n)
+		gemmNTPanel(s.m, s.n, s.k, a.Data, s.k, b.Data, s.k, panel, s.n)
+		gemmNTScalar(s.m, s.n, s.k, a.Data, s.k, b.Data, s.k, scalar, s.n)
+		for i := range scalar {
+			if panel[i] != scalar[i] {
+				t.Fatalf("shape %dx%dx%d: panel[%d]=%v scalar[%d]=%v (must be bit-identical)",
+					s.m, s.n, s.k, i, panel[i], i, scalar[i])
+			}
+		}
+	}
+}
+
+// TestMatMulVariantsMatchNaive checks the packed-transpose paths (a@b and
+// aᵀ@b) against naive ascending-k dot products at ragged shapes.
+func TestMatMulVariantsMatchNaive(t *testing.T) {
+	src := rng.New(37)
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + src.Intn(20)
+		k := 1 + src.Intn(20)
+		n := 1 + src.Intn(20)
+
+		a := randMat(src, m, k)
+		b := randMat(src, k, n)
+		got := MatMul(a, b)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for p := 0; p < k; p++ {
+					s += a.Data[i*k+p] * b.Data[p*n+j]
+				}
+				if got.Data[i*n+j] != s {
+					t.Fatalf("MatMul %dx%dx%d at (%d,%d): %v != %v", m, k, n, i, j, got.Data[i*n+j], s)
+				}
+			}
+		}
+
+		at := randMat(src, k, m) // aᵀ stored: k×m
+		got = MatMulTransA(at, b)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for p := 0; p < k; p++ {
+					s += at.Data[p*m+i] * b.Data[p*n+j]
+				}
+				if got.Data[i*n+j] != s {
+					t.Fatalf("MatMulTransA %dx%dx%d at (%d,%d): %v != %v", m, k, n, i, j, got.Data[i*n+j], s)
+				}
+			}
+		}
+	}
+}
+
+// TestGemmIntoReuseStable proves the Into variants give bit-identical
+// results when reusing an oversized scratch matrix.
+func TestGemmIntoReuseStable(t *testing.T) {
+	src := rng.New(41)
+	scratch := NewMat(64, 64) // oversized, will be resliced down
+	for trial := 0; trial < 10; trial++ {
+		m, n, k := 1+src.Intn(8), 1+src.Intn(8), 1+src.Intn(8)
+		a := randMat(src, m, k)
+		b := randMat(src, n, k)
+		fresh := MatMulTransB(a, b)
+		scratch = MatMulTransBInto(a, b, scratch)
+		for i := range fresh.Data {
+			if scratch.Data[i] != fresh.Data[i] {
+				t.Fatalf("reused scratch differs at %d", i)
+			}
+		}
+	}
+}
+
+func TestPackTranspose(t *testing.T) {
+	src := rng.New(43)
+	m := randMat(src, 5, 3)
+	panel := packTranspose(m, nil)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if panel[c*m.Rows+r] != m.Data[r*m.Cols+c] {
+				t.Fatalf("packTranspose(%d,%d) wrong", r, c)
+			}
+		}
+	}
+	// Reuse with exact-size buffer must not allocate a new one.
+	buf := make([]float32, 15)
+	out := packTranspose(m, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("packTranspose reallocated a sufficient buffer")
+	}
+}

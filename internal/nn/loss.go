@@ -4,7 +4,8 @@ import "math"
 
 // MSELoss returns the mean-squared-error loss over a batch and the gradient
 // dL/dpred (averaged over the batch). pred and target must have identical
-// shapes.
+// shapes. The loss and each gradient element are accumulated in float64 and
+// narrowed once on store.
 func MSELoss(pred, target *Mat) (loss float64, grad *Mat) {
 	return MSELossInto(pred, target, nil)
 }
@@ -19,24 +20,26 @@ func MSELossInto(pred, target, grad *Mat) (float64, *Mat) {
 	var loss float64
 	n := float64(len(pred.Data))
 	for i := range pred.Data {
-		d := pred.Data[i] - target.Data[i]
+		d := float64(pred.Data[i]) - float64(target.Data[i])
 		loss += d * d
-		grad.Data[i] = 2 * d / n
+		grad.Data[i] = float32(2 * d / n)
 	}
 	return loss / n, grad
 }
 
-// Softmax computes a numerically stable softmax of logits in place-free
-// fashion, optionally restricted to a mask (nil = all valid). Masked-out
-// entries receive probability 0.
-func Softmax(logits []float64, mask []bool) []float64 {
+// Softmax computes a numerically stable softmax of float32 logits,
+// optionally restricted to a mask (nil = all valid). Masked-out entries
+// receive probability 0. The exponentials and normalization run in float64:
+// probabilities feed rng.WeightedChoice and the gradient helpers, where the
+// extra precision is free.
+func Softmax(logits []float32, mask []bool) []float64 {
 	return SoftmaxInto(logits, mask, make([]float64, len(logits)))
 }
 
 // SoftmaxInto is Softmax writing into probs, which must have the logits'
 // length (it is the caller's scratch, typically a fixed action-width
 // buffer). Returns probs.
-func SoftmaxInto(logits []float64, mask []bool, probs []float64) []float64 {
+func SoftmaxInto(logits []float32, mask []bool, probs []float64) []float64 {
 	if len(probs) != len(logits) {
 		panic("nn: SoftmaxInto scratch length mismatch")
 	}
@@ -48,8 +51,8 @@ func SoftmaxInto(logits []float64, mask []bool, probs []float64) []float64 {
 		if mask != nil && !mask[i] {
 			continue
 		}
-		if l > maxL {
-			maxL = l
+		if float64(l) > maxL {
+			maxL = float64(l)
 		}
 	}
 	if math.IsInf(maxL, -1) {
@@ -60,7 +63,7 @@ func SoftmaxInto(logits []float64, mask []bool, probs []float64) []float64 {
 		if mask != nil && !mask[i] {
 			continue
 		}
-		e := math.Exp(l - maxL)
+		e := math.Exp(float64(l) - maxL)
 		probs[i] = e
 		sum += e
 	}
@@ -73,23 +76,32 @@ func SoftmaxInto(logits []float64, mask []bool, probs []float64) []float64 {
 	return probs
 }
 
-// PolicyGradient returns dL/dlogits for the policy-gradient loss
-// L = -advantage · log π(action), where π is the (masked) softmax of logits:
-// grad = advantage · (π − onehot(action)), zero on masked entries.
-// Minimizing L with this gradient performs gradient ascent on expected
-// advantage-weighted log-likelihood (Eq. 8 of the paper).
-func PolicyGradient(logits []float64, mask []bool, action int, advantage float64) []float64 {
-	return PolicyGradientInto(logits, mask, action, advantage,
-		make([]float64, len(logits)), make([]float64, len(logits)))
-}
-
-// PolicyGradientInto is PolicyGradient through caller scratch: probs and
-// grad must have the logits' length. Returns grad.
-func PolicyGradientInto(logits []float64, mask []bool, action int, advantage float64, probs, grad []float64) []float64 {
+// PolicyGradientRowInto writes one batch row of the policy-gradient loss
+// into grad (typically a row of the n×actions gradient matrix handed to
+// Backward), overwriting it:
+//
+//	grad = scale · (advantage · (π − onehot(action)) − entCoef · dH/dlogits)
+//
+// where π is the masked softmax of logits and H its entropy — the
+// advantage-weighted policy gradient of Eq. 8 of the paper fused with the
+// optional entropy bonus (entCoef = 0 skips the entropy term entirely).
+// Masked entries get gradient 0. probs is caller scratch with the logits'
+// length; all math runs in float64 and narrows once on store. The fused
+// form replaces the separate PolicyGradient/EntropyBonusGradient passes:
+// one softmax, no intermediate slices, zero allocations.
+func PolicyGradientRowInto(logits []float32, mask []bool, action int, advantage, entCoef, scale float64, probs []float64, grad []float32) {
 	if len(grad) != len(logits) {
-		panic("nn: PolicyGradientInto scratch length mismatch")
+		panic("nn: PolicyGradientRowInto scratch length mismatch")
 	}
 	probs = SoftmaxInto(logits, mask, probs)
+	var ent float64
+	if entCoef != 0 {
+		for _, p := range probs {
+			if p > 0 {
+				ent -= p * math.Log(p)
+			}
+		}
+	}
 	for i := range grad {
 		grad[i] = 0
 	}
@@ -101,44 +113,21 @@ func PolicyGradientInto(logits []float64, mask []bool, action int, advantage flo
 		if i == action {
 			g -= 1
 		}
-		grad[i] = advantage * g
+		g *= advantage
+		// dH/dl_i = -p_i (log p_i + H); the bonus contributes -entCoef · dH.
+		if entCoef != 0 && p > 0 {
+			g += entCoef * p * (math.Log(p) + ent)
+		}
+		grad[i] = float32(scale * g)
 	}
-	return grad
 }
 
-// EntropyBonusGradient returns dH/dlogits scaled by -coef (so adding it to a
-// loss gradient encourages exploration), where H = -Σ π log π over the
-// masked softmax.
-func EntropyBonusGradient(logits []float64, mask []bool, coef float64) []float64 {
-	return EntropyBonusGradientInto(logits, mask, coef,
-		make([]float64, len(logits)), make([]float64, len(logits)))
-}
-
-// EntropyBonusGradientInto is EntropyBonusGradient through caller scratch:
-// probs and grad must have the logits' length. Returns grad.
-func EntropyBonusGradientInto(logits []float64, mask []bool, coef float64, probs, grad []float64) []float64 {
-	if len(grad) != len(logits) {
-		panic("nn: EntropyBonusGradientInto scratch length mismatch")
-	}
-	probs = SoftmaxInto(logits, mask, probs)
-	// H = -Σ p_i log p_i ; dH/dlogit_j = -p_j (log p_j + H... ) — derive:
-	// dH/dl_j = -p_j * (log p_j - Σ_k p_k log p_k)
-	var ent float64
-	for _, p := range probs {
-		if p > 0 {
-			ent -= p * math.Log(p)
-		}
-	}
-	for i := range grad {
-		grad[i] = 0
-	}
-	for i, p := range probs {
-		if p <= 0 {
-			continue
-		}
-		dH := -p * (math.Log(p) + ent)
-		grad[i] = -coef * dH
-	}
+// PolicyGradient returns dL/dlogits for the policy-gradient loss
+// L = -advantage · log π(action) as a fresh float32 row (convenience for
+// tests and cold paths; hot paths use PolicyGradientRowInto).
+func PolicyGradient(logits []float32, mask []bool, action int, advantage float64) []float32 {
+	grad := make([]float32, len(logits))
+	PolicyGradientRowInto(logits, mask, action, advantage, 0, 1, make([]float64, len(logits)), grad)
 	return grad
 }
 
@@ -154,19 +143,21 @@ func Entropy(probs []float64) float64 {
 }
 
 // ClipGrads scales all gradients so their global L2 norm does not exceed
-// maxNorm, returning the pre-clip norm. No-op if maxNorm <= 0.
-func ClipGrads(grads [][]float64, maxNorm float64) float64 {
+// maxNorm, returning the pre-clip norm. No-op if maxNorm <= 0. The squared
+// norm accumulates in float64 — float32 would overflow around 1e19 and lose
+// precision long before.
+func ClipGrads(grads [][]float32, maxNorm float64) float64 {
 	var sq float64
 	for _, g := range grads {
 		for _, v := range g {
-			sq += v * v
+			sq += float64(v) * float64(v)
 		}
 	}
 	norm := math.Sqrt(sq)
 	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
 		return norm
 	}
-	scale := maxNorm / norm
+	scale := float32(maxNorm / norm)
 	for _, g := range grads {
 		for i := range g {
 			g[i] *= scale

@@ -31,7 +31,7 @@ func (a Activation) String() string {
 	}
 }
 
-func (a Activation) apply(z float64) float64 {
+func (a Activation) apply(z float32) float32 {
 	switch a {
 	case ReLU:
 		if z < 0 {
@@ -39,7 +39,7 @@ func (a Activation) apply(z float64) float64 {
 		}
 		return z
 	case Tanh:
-		return math.Tanh(z)
+		return tanhF32(z)
 	default:
 		return z
 	}
@@ -47,7 +47,7 @@ func (a Activation) apply(z float64) float64 {
 
 // derivFromOut returns dσ/dz expressed via the activation output (possible
 // for ReLU and tanh, which keeps the backward pass cache small).
-func (a Activation) derivFromOut(out float64) float64 {
+func (a Activation) derivFromOut(out float32) float32 {
 	switch a {
 	case ReLU:
 		if out > 0 {
@@ -61,11 +61,38 @@ func (a Activation) derivFromOut(out float64) float64 {
 	}
 }
 
-// Dense is one fully connected layer out = σ(x @ Wᵀ + b).
+// applyBiasAct is the fused GEMM epilogue: row = σ(row + b). The activation
+// switch is hoisted out of the element loop and row is resliced to the bias
+// length so the loops are bounds-check free.
+func applyBiasAct(row, b []float32, act Activation) {
+	row = row[:len(b)]
+	switch act {
+	case ReLU:
+		for c, bv := range b {
+			v := row[c] + bv
+			if v < 0 {
+				v = 0
+			}
+			row[c] = v
+		}
+	case Tanh:
+		for c, bv := range b {
+			row[c] = tanhF32(row[c] + bv)
+		}
+	default:
+		for c, bv := range b {
+			row[c] += bv
+		}
+	}
+}
+
+// Dense is one fully connected layer out = σ(x @ Wᵀ + b). W is stored
+// Out×In row-major — exactly the transposed-B layout the gemmNT kernel
+// consumes, so the forward pass needs no packing at all.
 type Dense struct {
 	In, Out int
 	W       *Mat // Out × In
-	B       []float64
+	B       []float32
 	Act     Activation
 
 	// training caches (set by Forward, consumed by Backward)
@@ -74,16 +101,20 @@ type Dense struct {
 
 	// accumulated gradients
 	GradW *Mat
-	GradB []float64
+	GradB []float32
 
 	// layer-owned scratch, reused call to call so the steady-state training
-	// loop allocates nothing: trOut backs Forward(train=true) output, and
-	// bwGz/bwGw/bwGx back Backward's intermediates. Each is valid only until
-	// the next corresponding call on this layer.
-	trOut *Mat
-	bwGz  *Mat
-	bwGw  *Mat
-	bwGx  *Mat
+	// loop allocates nothing: trOut backs Forward(train=true) output,
+	// bwGz/bwGw/bwGx back Backward's intermediates, and bwPackGz/bwPackIn/
+	// bwPackW hold the transposed panels Backward's GEMMs consume. Each is
+	// valid only until the next corresponding call on this layer.
+	trOut    *Mat
+	bwGz     *Mat
+	bwGw     *Mat
+	bwGx     *Mat
+	bwPackGz []float32
+	bwPackIn []float32
+	bwPackW  []float32
 }
 
 // NewDense creates a layer with He/Xavier-style initialization drawn from
@@ -94,12 +125,12 @@ func NewDense(src *rng.Source, in, out int, act Activation) *Dense {
 	}
 	d := &Dense{
 		In: in, Out: out,
-		W: NewMat(out, in), B: make([]float64, out), Act: act,
-		GradW: NewMat(out, in), GradB: make([]float64, out),
+		W: NewMat(out, in), B: make([]float32, out), Act: act,
+		GradW: NewMat(out, in), GradB: make([]float32, out),
 	}
 	scale := math.Sqrt(2.0 / float64(in)) // He init; fine for tanh too at these sizes
 	for i := range d.W.Data {
-		d.W.Data[i] = src.Norm(0, scale)
+		d.W.Data[i] = float32(src.Norm(0, scale))
 	}
 	return d
 }
@@ -109,23 +140,21 @@ func NewDense(src *rng.Source, in, out int, act Activation) *Dense {
 // through the matching Backward and until the next Forward(train=true) on
 // this layer, and x must likewise stay untouched until Backward consumes it.
 // Inference (train=false) allocates a fresh matrix; the allocation-free
-// inference path is MLP.Forward1/ForwardRows.
+// inference path is MLP.ForwardBatch/Forward1/ForwardRows.
 func (d *Dense) Forward(x *Mat, train bool) *Mat {
 	if x.Cols != d.In {
 		panic(fmt.Sprintf("nn: dense expected %d inputs, got %d", d.In, x.Cols))
 	}
 	var z *Mat
 	if train {
-		d.trOut = MatMulTransBInto(x, d.W, d.trOut)
+		d.trOut = ensureMat(d.trOut, x.Rows, d.Out)
 		z = d.trOut
 	} else {
-		z = MatMulTransB(x, d.W)
+		z = NewMat(x.Rows, d.Out)
 	}
+	gemmNT(x.Rows, d.Out, d.In, x.Data, d.In, d.W.Data, d.In, z.Data, d.Out)
 	for r := 0; r < z.Rows; r++ {
-		row := z.Row(r)
-		for c := range row {
-			row[c] = d.Act.apply(row[c] + d.B[c])
-		}
+		applyBiasAct(z.Row(r), d.B, d.Act)
 	}
 	if train {
 		d.lastIn = x
@@ -138,37 +167,60 @@ func (d *Dense) Forward(x *Mat, train bool) *Mat {
 // Forward must have been called with train=true. The returned matrix is
 // layer-owned scratch, valid until this layer's next Backward — the chained
 // MLP.Backward copies it into the next layer's own scratch immediately.
-// Gradients accumulate through a reused intermediate in the exact operation
-// order of the original allocating implementation, so repeated
-// Backward-per-ZeroGrad schedules see bit-identical sums.
+// Both gradient products are gemmNT calls over layer-owned transposed
+// panels: dL/dW = gzᵀ @ x contracts over the batch index, so gz and x are
+// packed batch-contiguous; dL/dx = gz @ W contracts over Out, so W is packed
+// as Wᵀ.
 func (d *Dense) Backward(gradOut *Mat) *Mat {
 	if d.lastIn == nil {
 		panic("nn: Backward before Forward(train=true)")
 	}
-	// dL/dz = dL/dout * σ'(z)
-	d.bwGz = ensureMat(d.bwGz, gradOut.Rows, gradOut.Cols)
+	n := gradOut.Rows
+	// dL/dz = dL/dout * σ'(z), with the activation switch hoisted.
+	d.bwGz = ensureMat(d.bwGz, n, gradOut.Cols)
 	gz := d.bwGz
 	copy(gz.Data, gradOut.Data)
-	for r := 0; r < gz.Rows; r++ {
-		grow := gz.Row(r)
-		orow := d.lastOut.Row(r)
-		for c := range grow {
-			grow[c] *= d.Act.derivFromOut(orow[c])
+	switch d.Act {
+	case ReLU:
+		for r := 0; r < n; r++ {
+			grow := gz.Row(r)
+			orow := d.lastOut.Row(r)
+			orow = orow[:len(grow)]
+			for c := range grow {
+				if orow[c] <= 0 {
+					grow[c] = 0
+				}
+			}
+		}
+	case Tanh:
+		for r := 0; r < n; r++ {
+			grow := gz.Row(r)
+			orow := d.lastOut.Row(r)
+			orow = orow[:len(grow)]
+			for c := range grow {
+				grow[c] *= 1 - orow[c]*orow[c]
+			}
 		}
 	}
 	// dL/dW += gzᵀ @ x ; dL/db += Σ gz rows
-	d.bwGw = MatMulTransAInto(gz, d.lastIn, d.bwGw)
+	d.bwPackGz = packTranspose(gz, d.bwPackGz)
+	d.bwPackIn = packTranspose(d.lastIn, d.bwPackIn)
+	d.bwGw = ensureMat(d.bwGw, d.Out, d.In)
+	gemmNT(d.Out, d.In, n, d.bwPackGz, n, d.bwPackIn, n, d.bwGw.Data, d.In)
 	for i, v := range d.bwGw.Data {
 		d.GradW.Data[i] += v
 	}
-	for r := 0; r < gz.Rows; r++ {
+	for r := 0; r < n; r++ {
 		row := gz.Row(r)
+		gb := d.GradB[:len(row)]
 		for c, v := range row {
-			d.GradB[c] += v
+			gb[c] += v
 		}
 	}
 	// dL/dx = gz @ W
-	d.bwGx = MatMulInto(gz, d.W, d.bwGx)
+	d.bwPackW = packTranspose(d.W, d.bwPackW)
+	d.bwGx = ensureMat(d.bwGx, n, d.In)
+	gemmNT(n, d.In, d.Out, gz.Data, d.Out, d.bwPackW, d.Out, d.bwGx.Data, d.In)
 	return d.bwGx
 }
 
@@ -186,44 +238,23 @@ func (d *Dense) ZeroGrad() {
 type MLP struct {
 	Layers []*Dense
 
-	// fwd is the serial inference arena behind Forward1; chunkFwd holds one
-	// arena per ForwardRows worker so parallel chunks never share buffers.
-	// rowsOut/rowsArena back ForwardRows results. None of these are shared
-	// by Clone, and checkpoints never touch them.
-	fwd       scratch
-	chunkFwd  []scratch
-	rowsOut   [][]float64
-	rowsArena []float64
-}
+	// Inference arenas: batchActs holds one n×Out activation matrix per
+	// layer, shared by ForwardBatch/Forward1/ForwardRows (results alias the
+	// last entry and stay valid until the next inference call on this
+	// network); x1 backs Forward1's single-row input and rowsIn/rowsOut back
+	// ForwardRows' input narrowing and result views. Workers write disjoint
+	// row blocks of the shared arenas, so no per-worker copies exist. None
+	// of these are shared by Clone, and checkpoints never touch them.
+	batchActs []*Mat
+	x1        *Mat
+	rowsIn    *Mat
+	rowsOut   [][]float32
 
-// scratch is one inference arena: a reusable input header plus one output
-// buffer per layer. Each goroutine touching an MLP concurrently must use
-// its own scratch (ForwardRows arranges this per worker chunk).
-type scratch struct {
-	in   Mat
-	acts []*Mat
-}
-
-// forward1Into runs single-sample inference through s's buffers and returns
-// the output row, which aliases s and is valid until s is reused. The
-// per-layer kernels are exactly Forward's, so results are bit-identical to
-// the allocating path.
-func (m *MLP) forward1Into(x []float64, s *scratch) []float64 {
-	if len(s.acts) != len(m.Layers) {
-		s.acts = make([]*Mat, len(m.Layers))
-	}
-	s.in = Mat{Rows: 1, Cols: len(x), Data: x}
-	in := &s.in
-	for i, l := range m.Layers {
-		s.acts[i] = MatMulTransBInto(in, l.W, s.acts[i])
-		z := s.acts[i]
-		row := z.Row(0)
-		for c := range row {
-			row[c] = l.Act.apply(row[c] + l.B[c])
-		}
-		in = z
-	}
-	return in.Row(0)
+	// Params() result cache: the layer list is fixed after construction, so
+	// the flat parameter/gradient views are built once — optimizers call
+	// Params() every step and must stay allocation-free.
+	paramsCache [][]float32
+	gradsCache  [][]float32
 }
 
 // NewMLP builds a network with the given layer sizes; hidden layers use
@@ -261,12 +292,14 @@ func (m *MLP) Forward(x *Mat, train bool) *Mat {
 
 // Forward1 runs the network on a single sample and returns the output row.
 // The row aliases the MLP's internal inference arena: it is valid until the
-// next Forward1 or ForwardRows call on this network, and callers keeping it
-// longer must copy it out. Like all scratch-backed paths, Forward1 is not
-// safe for concurrent calls on a shared MLP — ForwardRows is the parallel
-// entry point.
-func (m *MLP) Forward1(x []float64) []float64 {
-	return m.forward1Into(x, &m.fwd)
+// next Forward1/ForwardRows/ForwardBatch call on this network, and callers
+// keeping it longer must copy it out. Like all scratch-backed paths, Forward1
+// is not safe for concurrent calls on a shared MLP — ForwardBatch is the
+// parallel entry point.
+func (m *MLP) Forward1(x []float64) []float32 {
+	m.x1 = ensureMat(m.x1, 1, m.InputSize())
+	m.x1.SetRow(0, x)
+	return m.ForwardBatch(m.x1, 1).Row(0)
 }
 
 // Backward propagates dL/dout through all layers, accumulating gradients.
@@ -286,12 +319,16 @@ func (m *MLP) ZeroGrad() {
 
 // Params returns flat views of all parameters and their gradients, in a
 // stable order, for use by optimizers.
-func (m *MLP) Params() (params, grads [][]float64) {
-	for _, l := range m.Layers {
-		params = append(params, l.W.Data, l.B)
-		grads = append(grads, l.GradW.Data, l.GradB)
+func (m *MLP) Params() (params, grads [][]float32) {
+	if len(m.paramsCache) != 2*len(m.Layers) {
+		m.paramsCache = make([][]float32, 0, 2*len(m.Layers))
+		m.gradsCache = make([][]float32, 0, 2*len(m.Layers))
+		for _, l := range m.Layers {
+			m.paramsCache = append(m.paramsCache, l.W.Data, l.B)
+			m.gradsCache = append(m.gradsCache, l.GradW.Data, l.GradB)
+		}
 	}
-	return params, grads
+	return m.paramsCache, m.gradsCache
 }
 
 // NumParams returns the total parameter count.
@@ -324,13 +361,14 @@ func (m *MLP) SoftUpdateFrom(src *MLP, tau float64) {
 	if len(m.Layers) != len(src.Layers) {
 		panic("nn: SoftUpdateFrom layer count mismatch")
 	}
+	t := float32(tau)
 	for i, l := range m.Layers {
 		s := src.Layers[i]
 		for j := range l.W.Data {
-			l.W.Data[j] = (1-tau)*l.W.Data[j] + tau*s.W.Data[j]
+			l.W.Data[j] = (1-t)*l.W.Data[j] + t*s.W.Data[j]
 		}
 		for j := range l.B {
-			l.B[j] = (1-tau)*l.B[j] + tau*s.B[j]
+			l.B[j] = (1-t)*l.B[j] + t*s.B[j]
 		}
 	}
 }
@@ -342,8 +380,8 @@ func (m *MLP) Clone() *MLP {
 	for _, l := range m.Layers {
 		nl := &Dense{
 			In: l.In, Out: l.Out, Act: l.Act,
-			W: l.W.Clone(), B: append([]float64(nil), l.B...),
-			GradW: NewMat(l.Out, l.In), GradB: make([]float64, l.Out),
+			W: l.W.Clone(), B: append([]float32(nil), l.B...),
+			GradW: NewMat(l.Out, l.In), GradB: make([]float32, l.Out),
 		}
 		out.Layers = append(out.Layers, nl)
 	}

@@ -9,10 +9,10 @@ import (
 )
 
 func TestMatMulKnown(t *testing.T) {
-	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
-	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
 	c := MatMul(a, b)
-	want := []float64{58, 64, 139, 154}
+	want := []float32{58, 64, 139, 154}
 	for i, v := range want {
 		if c.Data[i] != v {
 			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], v)
@@ -21,17 +21,17 @@ func TestMatMulKnown(t *testing.T) {
 }
 
 func TestMatMulTransVariants(t *testing.T) {
-	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
-	bt := FromSlice(2, 3, []float64{7, 9, 11, 8, 10, 12}) // b transposed
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	bt := FromSlice(2, 3, []float32{7, 9, 11, 8, 10, 12}) // b transposed
 	c := MatMulTransB(a, bt)
-	want := []float64{58, 64, 139, 154}
+	want := []float32{58, 64, 139, 154}
 	for i, v := range want {
 		if c.Data[i] != v {
 			t.Fatalf("MatMulTransB[%d] = %v, want %v", i, c.Data[i], v)
 		}
 	}
-	at := FromSlice(3, 2, []float64{1, 4, 2, 5, 3, 6}) // a transposed
-	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	at := FromSlice(3, 2, []float32{1, 4, 2, 5, 3, 6}) // a transposed
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
 	c2 := MatMulTransA(at, b)
 	for i, v := range want {
 		if c2.Data[i] != v {
@@ -50,35 +50,62 @@ func TestMatShapePanics(t *testing.T) {
 		f()
 	}
 	mustPanic("NewMat invalid", func() { NewMat(0, 3) })
-	mustPanic("FromSlice mismatch", func() { FromSlice(2, 2, []float64{1}) })
+	mustPanic("FromSlice mismatch", func() { FromSlice(2, 2, []float32{1}) })
 	a := NewMat(2, 3)
 	b := NewMat(2, 3)
 	mustPanic("MatMul mismatch", func() { MatMul(a, b) })
 }
 
-// numericGrad computes the loss gradient w.r.t. every parameter by central
-// finite differences.
-func numericGrad(net *MLP, x, target *Mat, eps float64) [][]float64 {
-	params, _ := net.Params()
-	out := make([][]float64, len(params))
-	lossAt := func() float64 {
-		pred := net.Forward(x, false)
-		l, _ := MSELoss(pred, target)
-		return l
+// f64Apply mirrors Activation.apply in float64 for the finite-difference
+// shadow network below.
+func f64Apply(a Activation, z float64) float64 {
+	switch a {
+	case ReLU:
+		if z < 0 {
+			return 0
+		}
+		return z
+	case Tanh:
+		return math.Tanh(z)
+	default:
+		return z
 	}
-	for i, p := range params {
-		out[i] = make([]float64, len(p))
-		for j := range p {
-			orig := p[j]
-			p[j] = orig + eps
-			lp := lossAt()
-			p[j] = orig - eps
-			lm := lossAt()
-			p[j] = orig
-			out[i][j] = (lp - lm) / (2 * eps)
+}
+
+// f64Loss evaluates the network's MSE loss entirely in float64 from a
+// float64 copy of the parameters (params64 lists W then B per layer, the
+// Params order). Finite differences on the float32 weights directly would
+// drown in rounding; perturbing the float64 shadow keeps the numeric
+// gradient exact while probing the same function the float32 engine
+// approximates.
+func f64Loss(net *MLP, params64 [][]float64, x, target *Mat) float64 {
+	var loss float64
+	n := 0
+	for r := 0; r < x.Rows; r++ {
+		in := make([]float64, x.Cols)
+		for c := range in {
+			in[c] = x.At(r, c)
+		}
+		for li, l := range net.Layers {
+			w := params64[2*li]
+			b := params64[2*li+1]
+			out := make([]float64, l.Out)
+			for j := 0; j < l.Out; j++ {
+				s := b[j]
+				for k := 0; k < l.In; k++ {
+					s += in[k] * w[j*l.In+k]
+				}
+				out[j] = f64Apply(l.Act, s)
+			}
+			in = out
+		}
+		for c := range in {
+			d := in[c] - target.At(r, c)
+			loss += d * d
+			n++
 		}
 	}
-	return out
+	return loss / float64(n)
 }
 
 func TestBackpropMatchesFiniteDifferences(t *testing.T) {
@@ -88,23 +115,40 @@ func TestBackpropMatchesFiniteDifferences(t *testing.T) {
 		x := NewMat(4, 3)
 		target := NewMat(4, 2)
 		for i := range x.Data {
-			x.Data[i] = src.Norm(0, 1)
+			x.Data[i] = float32(src.Norm(0, 1))
 		}
 		for i := range target.Data {
-			target.Data[i] = src.Norm(0, 1)
+			target.Data[i] = float32(src.Norm(0, 1))
 		}
 		net.ZeroGrad()
 		pred := net.Forward(x, true)
 		_, grad := MSELoss(pred, target)
 		net.Backward(grad)
 		_, analytic := net.Params()
-		numeric := numericGrad(net, x, target, 1e-6)
-		for i := range analytic {
-			for j := range analytic[i] {
-				a, n := analytic[i][j], numeric[i][j]
-				scale := math.Max(1e-4, math.Max(math.Abs(a), math.Abs(n)))
-				if math.Abs(a-n)/scale > 2e-3 {
-					t.Fatalf("act=%v: grad[%d][%d] analytic=%v numeric=%v", act, i, j, a, n)
+
+		params, _ := net.Params()
+		params64 := make([][]float64, len(params))
+		for i, p := range params {
+			params64[i] = make([]float64, len(p))
+			for j, v := range p {
+				params64[i][j] = float64(v)
+			}
+		}
+		const eps = 1e-6
+		for i := range params64 {
+			for j := range params64[i] {
+				orig := params64[i][j]
+				params64[i][j] = orig + eps
+				lp := f64Loss(net, params64, x, target)
+				params64[i][j] = orig - eps
+				lm := f64Loss(net, params64, x, target)
+				params64[i][j] = orig
+				numeric := (lp - lm) / (2 * eps)
+				a := float64(analytic[i][j])
+				// The analytic gradient ran in float32: allow its rounding.
+				scale := math.Max(1e-3, math.Max(math.Abs(a), math.Abs(numeric)))
+				if math.Abs(a-numeric)/scale > 2e-3 {
+					t.Fatalf("act=%v: grad[%d][%d] analytic=%v numeric=%v", act, i, j, a, numeric)
 				}
 			}
 		}
@@ -115,8 +159,8 @@ func TestMLPLearnsXOR(t *testing.T) {
 	src := rng.New(7)
 	net := NewMLP(src, []int{2, 8, 1}, Tanh, Identity)
 	opt := NewAdam(0.02)
-	x := FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
-	y := FromSlice(4, 1, []float64{0, 1, 1, 0})
+	x := FromSlice(4, 2, []float32{0, 0, 0, 1, 1, 0, 1, 1})
+	y := FromSlice(4, 1, []float32{0, 1, 1, 0})
 	var loss float64
 	for epoch := 0; epoch < 2000; epoch++ {
 		net.ZeroGrad()
@@ -130,9 +174,10 @@ func TestMLPLearnsXOR(t *testing.T) {
 		t.Fatalf("XOR not learned, final loss %v", loss)
 	}
 	for i := 0; i < 4; i++ {
-		pred := net.Forward1(x.Row(i))[0]
-		if math.Abs(pred-y.Data[i]) > 0.2 {
-			t.Fatalf("XOR(%v) = %v, want %v", x.Row(i), pred, y.Data[i])
+		in := []float64{x.At(i, 0), x.At(i, 1)}
+		pred := float64(net.Forward1(in)[0])
+		if math.Abs(pred-float64(y.Data[i])) > 0.2 {
+			t.Fatalf("XOR(%v) = %v, want %v", in, pred, y.Data[i])
 		}
 	}
 }
@@ -141,8 +186,8 @@ func TestSGDReducesLoss(t *testing.T) {
 	src := rng.New(3)
 	net := NewMLP(src, []int{2, 6, 1}, Tanh, Identity)
 	opt := NewSGD(0.1, 0.9)
-	x := FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
-	y := FromSlice(4, 1, []float64{0, 1, 1, 2}) // linear target: sum
+	x := FromSlice(4, 2, []float32{0, 0, 0, 1, 1, 0, 1, 1})
+	y := FromSlice(4, 1, []float32{0, 1, 1, 2}) // linear target: sum
 	first := -1.0
 	var last float64
 	for epoch := 0; epoch < 500; epoch++ {
@@ -162,14 +207,14 @@ func TestSGDReducesLoss(t *testing.T) {
 }
 
 func TestSoftmax(t *testing.T) {
-	p := Softmax([]float64{1, 1, 1}, nil)
+	p := Softmax([]float32{1, 1, 1}, nil)
 	for _, v := range p {
 		if math.Abs(v-1.0/3) > 1e-12 {
 			t.Fatalf("uniform softmax = %v", p)
 		}
 	}
 	// Masking.
-	p = Softmax([]float64{5, 100, 5}, []bool{true, false, true})
+	p = Softmax([]float32{5, 100, 5}, []bool{true, false, true})
 	if p[1] != 0 {
 		t.Fatal("masked entry got probability")
 	}
@@ -177,7 +222,7 @@ func TestSoftmax(t *testing.T) {
 		t.Fatalf("masked softmax = %v", p)
 	}
 	// Numerical stability at large logits.
-	p = Softmax([]float64{1000, 1001}, nil)
+	p = Softmax([]float32{1000, 1001}, nil)
 	if math.IsNaN(p[0]) || math.IsNaN(p[1]) {
 		t.Fatal("softmax overflow")
 	}
@@ -185,7 +230,7 @@ func TestSoftmax(t *testing.T) {
 		t.Fatal("softmax ordering wrong")
 	}
 	// Fully masked.
-	p = Softmax([]float64{1, 2}, []bool{false, false})
+	p = Softmax([]float32{1, 2}, []bool{false, false})
 	if p[0] != 0 || p[1] != 0 {
 		t.Fatal("fully masked softmax should be zeros")
 	}
@@ -194,9 +239,9 @@ func TestSoftmax(t *testing.T) {
 func TestSoftmaxSumsToOne(t *testing.T) {
 	src := rng.New(5)
 	for trial := 0; trial < 100; trial++ {
-		logits := make([]float64, 1+src.Intn(10))
+		logits := make([]float32, 1+src.Intn(10))
 		for i := range logits {
-			logits[i] = src.Norm(0, 10)
+			logits[i] = float32(src.Norm(0, 10))
 		}
 		p := Softmax(logits, nil)
 		var sum float64
@@ -215,7 +260,7 @@ func TestSoftmaxSumsToOne(t *testing.T) {
 func TestPolicyGradientDirection(t *testing.T) {
 	// Repeatedly applying the gradient for a fixed chosen action with
 	// positive advantage must increase that action's probability.
-	logits := []float64{0.1, 0.2, 0.3}
+	logits := []float32{0.1, 0.2, 0.3}
 	action := 0
 	before := Softmax(logits, nil)[action]
 	for iter := 0; iter < 50; iter++ {
@@ -229,7 +274,7 @@ func TestPolicyGradientDirection(t *testing.T) {
 		t.Fatalf("action prob %v -> %v did not increase", before, after)
 	}
 	// Negative advantage pushes the other way.
-	logits = []float64{0.1, 0.2, 0.3}
+	logits = []float32{0.1, 0.2, 0.3}
 	before = Softmax(logits, nil)[action]
 	for iter := 0; iter < 50; iter++ {
 		g := PolicyGradient(logits, nil, action, -1.0)
@@ -244,24 +289,66 @@ func TestPolicyGradientDirection(t *testing.T) {
 }
 
 func TestPolicyGradientZeroSum(t *testing.T) {
-	// Σ_i grad_i = advantage·(Σπ − 1) = 0 when unmasked.
-	g := PolicyGradient([]float64{1, 2, 3}, nil, 1, 2.5)
+	// Σ_i grad_i = advantage·(Σπ − 1) = 0 when unmasked (up to float32
+	// rounding of the stored entries).
+	g := PolicyGradient([]float32{1, 2, 3}, nil, 1, 2.5)
 	var sum float64
 	for _, v := range g {
-		sum += v
+		sum += float64(v)
 	}
-	if math.Abs(sum) > 1e-9 {
+	if math.Abs(sum) > 1e-6 {
 		t.Fatalf("gradient sum = %v, want 0", sum)
 	}
 }
 
+func TestPolicyGradientRowIntoMatchesUnfused(t *testing.T) {
+	// The fused helper with entCoef=0, scale=1 must agree with the
+	// allocating PolicyGradient, and the entropy term must match the
+	// analytic dH/dlogits formula.
+	logits := []float32{0.4, -1.2, 2.0, 0.0}
+	mask := []bool{true, true, false, true}
+	probs := make([]float64, len(logits))
+	grad := make([]float32, len(logits))
+	PolicyGradientRowInto(logits, mask, 1, 1.7, 0, 1, probs, grad)
+	want := PolicyGradient(logits, mask, 1, 1.7)
+	for i := range want {
+		if grad[i] != want[i] {
+			t.Fatalf("fused[%d] = %v, want %v", i, grad[i], want[i])
+		}
+	}
+	// advantage=0 isolates the entropy term: grad_i = coef·p_i(log p_i + H).
+	const coef = 0.3
+	PolicyGradientRowInto(logits, mask, 1, 0, coef, 1, probs, grad)
+	p := Softmax(logits, mask)
+	ent := Entropy(p)
+	for i := range grad {
+		var want float64
+		if mask[i] && p[i] > 0 {
+			want = coef * p[i] * (math.Log(p[i]) + ent)
+		}
+		if math.Abs(float64(grad[i])-want) > 1e-7 {
+			t.Fatalf("entropy grad[%d] = %v, want %v", i, grad[i], want)
+		}
+	}
+	// scale multiplies everything.
+	PolicyGradientRowInto(logits, mask, 1, 1.7, 0, 0.25, probs, grad)
+	for i := range want {
+		if math.Abs(float64(grad[i])-0.25*float64(want[i])) > 1e-7 {
+			t.Fatalf("scaled[%d] = %v, want %v", i, grad[i], 0.25*want[i])
+		}
+	}
+}
+
 func TestEntropyBonusIncreasesEntropy(t *testing.T) {
-	logits := []float64{3, 0, 0}
+	logits := []float32{3, 0, 0}
+	probs := make([]float64, len(logits))
+	grad := make([]float32, len(logits))
 	before := Entropy(Softmax(logits, nil))
 	for iter := 0; iter < 100; iter++ {
-		g := EntropyBonusGradient(logits, nil, 0.1)
+		// advantage=0: pure entropy-bonus gradient.
+		PolicyGradientRowInto(logits, nil, 0, 0, 0.1, 1, probs, grad)
 		for i := range logits {
-			logits[i] -= 0.1 * g[i]
+			logits[i] -= 0.1 * grad[i]
 		}
 	}
 	after := Entropy(Softmax(logits, nil))
@@ -271,21 +358,21 @@ func TestEntropyBonusIncreasesEntropy(t *testing.T) {
 }
 
 func TestClipGrads(t *testing.T) {
-	g := [][]float64{{3, 4}} // norm 5
+	g := [][]float32{{3, 4}} // norm 5
 	norm := ClipGrads(g, 1)
-	if math.Abs(norm-5) > 1e-12 {
+	if math.Abs(norm-5) > 1e-6 {
 		t.Fatalf("pre-clip norm = %v", norm)
 	}
 	var sq float64
 	for _, v := range g[0] {
-		sq += v * v
+		sq += float64(v) * float64(v)
 	}
-	if math.Abs(math.Sqrt(sq)-1) > 1e-9 {
+	if math.Abs(math.Sqrt(sq)-1) > 1e-6 {
 		t.Fatalf("post-clip norm = %v", math.Sqrt(sq))
 	}
 	// No-op cases.
-	g2 := [][]float64{{0.1}}
-	if ClipGrads(g2, 10) != 0.1 {
+	g2 := [][]float32{{0.1}}
+	if math.Abs(ClipGrads(g2, 10)-0.1) > 1e-7 {
 		t.Fatal("norm wrong")
 	}
 	if g2[0][0] != 0.1 {
@@ -401,7 +488,7 @@ func TestAdamConvergesOnQuadratic(t *testing.T) {
 	src := rng.New(21)
 	net := NewMLP(src, []int{1, 1}, Identity, Identity)
 	opt := NewAdam(0.05)
-	x := FromSlice(8, 1, []float64{-2, -1.5, -1, -0.5, 0.5, 1, 1.5, 2})
+	x := FromSlice(8, 1, []float32{-2, -1.5, -1, -0.5, 0.5, 1, 1.5, 2})
 	y := NewMat(8, 1)
 	for i := range x.Data {
 		y.Data[i] = 2*x.Data[i] + 1
@@ -413,8 +500,8 @@ func TestAdamConvergesOnQuadratic(t *testing.T) {
 		net.Backward(grad)
 		opt.Step(net)
 	}
-	w := net.Layers[0].W.Data[0]
-	b := net.Layers[0].B[0]
+	w := float64(net.Layers[0].W.Data[0])
+	b := float64(net.Layers[0].B[0])
 	if math.Abs(w-2) > 0.05 || math.Abs(b-1) > 0.05 {
 		t.Fatalf("fit w=%v b=%v, want 2, 1", w, b)
 	}

@@ -6,7 +6,9 @@ import (
 	"io"
 )
 
-// snapshot is the gob wire form of an MLP.
+// snapshot is the gob wire form of an MLP. Weights travel as float64 even
+// though storage is float32: widening is exact, so the wire format predates
+// the float32 backend and files written by either engine load identically.
 type snapshot struct {
 	Layers []layerSnapshot
 }
@@ -18,14 +20,30 @@ type layerSnapshot struct {
 	B       []float64
 }
 
+func widen(v []float32) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+func narrow(v []float64) []float32 {
+	out := make([]float32, len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
 // Save writes the network weights to w.
 func (m *MLP) Save(w io.Writer) error {
 	var s snapshot
 	for _, l := range m.Layers {
 		s.Layers = append(s.Layers, layerSnapshot{
 			In: l.In, Out: l.Out, Act: l.Act,
-			W: append([]float64(nil), l.W.Data...),
-			B: append([]float64(nil), l.B...),
+			W: widen(l.W.Data),
+			B: widen(l.B),
 		})
 	}
 	return gob.NewEncoder(w).Encode(s)
@@ -59,10 +77,10 @@ func Load(r io.Reader) (*MLP, error) {
 		}
 		m.Layers = append(m.Layers, &Dense{
 			In: ls.In, Out: ls.Out, Act: ls.Act,
-			W:     FromSlice(ls.Out, ls.In, append([]float64(nil), ls.W...)),
-			B:     append([]float64(nil), ls.B...),
+			W:     FromSlice(ls.Out, ls.In, narrow(ls.W)),
+			B:     narrow(ls.B),
 			GradW: NewMat(ls.Out, ls.In),
-			GradB: make([]float64, ls.Out),
+			GradB: make([]float32, ls.Out),
 		})
 	}
 	return m, nil

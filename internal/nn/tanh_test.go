@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTanhF32Accuracy sweeps the rational approximation against float64
+// math.Tanh. The bound is a few float32 ulps of the true value (|tanh| ≤ 1,
+// so 1e-6 absolute ≈ 8 ulps near saturation — the approximation is
+// typically within 1–2).
+func TestTanhF32Accuracy(t *testing.T) {
+	maxErr := 0.0
+	for x := -12.0; x <= 12.0; x += 1.0 / 512 {
+		got := float64(tanhF32(float32(x)))
+		want := math.Tanh(x)
+		if err := math.Abs(got - want); err > maxErr {
+			maxErr = err
+		}
+	}
+	if maxErr > 1e-6 {
+		t.Fatalf("max |tanhF32 - tanh| = %.3g, want <= 1e-6", maxErr)
+	}
+	t.Logf("max abs error over [-12,12]: %.3g", maxErr)
+}
+
+// TestTanhF32Properties checks exact oddness (the numerator is odd and the
+// denominator even in x, so symmetry holds bit-for-bit), the zero fixed
+// point, and saturation at large |x|.
+func TestTanhF32Properties(t *testing.T) {
+	if tanhF32(0) != 0 {
+		t.Fatalf("tanhF32(0) = %v, want 0", tanhF32(0))
+	}
+	for _, x := range []float32{1e-4, 0.5, 1, 2.5, 7, 8, 100} {
+		if tanhF32(-x) != -tanhF32(x) {
+			t.Fatalf("oddness broken at x=%v: %v vs %v", x, tanhF32(-x), -tanhF32(x))
+		}
+	}
+	if y := tanhF32(50); y < 0.999999 || y > 1 {
+		t.Fatalf("tanhF32(50) = %v, want saturated in (0.999999, 1]", y)
+	}
+	// Derivative-from-output stays in [0,1] at saturation (no 1−y² underflow
+	// to negative values).
+	if d := Tanh.derivFromOut(tanhF32(50)); d < 0 {
+		t.Fatalf("derivFromOut at saturation went negative: %v", d)
+	}
+}

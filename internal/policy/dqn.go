@@ -58,8 +58,10 @@ type DQN struct {
 
 	// learn/Act scratch, reused call to call (shapes are fixed by Batch and
 	// the observation/action widths, so steady-state training allocates
-	// nothing here). Never serialized.
+	// nothing here). lxn holds the minibatch next-observations for the
+	// batched target-network pass. Never serialized.
 	lx      *nn.Mat
+	lxn     *nn.Mat
 	lgrad   *nn.Mat
 	lidx    []int
 	actObs  []sim.Observation
@@ -116,11 +118,17 @@ func (d *DQN) BeginEpisode(seed int64) { d.src = rng.SplitStable(seed, "dqn") }
 
 // greedy returns the valid action with the highest Q.
 func (d *DQN) greedy(net *nn.MLP, obs []float64, mask [sim.NumActions]bool) (int, float64) {
-	qs := net.Forward1(obs)
+	return maskedArgmax(net.Forward1(obs), mask)
+}
+
+// maskedArgmax returns the valid action with the highest Q in a float32
+// Q-row, or (0, 0) when no action is valid — the convention greedy always
+// used.
+func maskedArgmax(qs []float32, mask [sim.NumActions]bool) (int, float64) {
 	best, bestQ := -1, math.Inf(-1)
 	for i := 0; i < sim.NumActions; i++ {
-		if mask[i] && qs[i] > bestQ {
-			best, bestQ = i, qs[i]
+		if mask[i] && float64(qs[i]) > bestQ {
+			best, bestQ = i, float64(qs[i])
 		}
 	}
 	if best < 0 {
@@ -152,7 +160,7 @@ func (d *DQN) choose(obs sim.Observation) int {
 
 // chooseFromQ is choose with the Q-row already evaluated. The ε draw comes
 // first, exactly as in choose, so the d.src draw sequence is unchanged.
-func (d *DQN) chooseFromQ(obs sim.Observation, qs []float64, eps float64) int {
+func (d *DQN) chooseFromQ(obs sim.Observation, qs []float32, eps float64) int {
 	if d.src.Bool(eps) {
 		var valid []int
 		for i, ok := range obs.Mask {
@@ -165,16 +173,8 @@ func (d *DQN) chooseFromQ(obs sim.Observation, qs []float64, eps float64) int {
 		}
 		return valid[d.src.Intn(len(valid))]
 	}
-	best, bestQ := -1, math.Inf(-1)
-	for i := 0; i < sim.NumActions; i++ {
-		if obs.Mask[i] && qs[i] > bestQ {
-			best, bestQ = i, qs[i]
-		}
-	}
-	if best < 0 {
-		return 0
-	}
-	return best
+	a, _ := maskedArgmax(qs, obs.Mask)
+	return a
 }
 
 // Act implements Policy (greedy over the learned network). Observations are
@@ -239,25 +239,39 @@ func (d *DQN) learn() {
 	d.net.ZeroGrad()
 	if d.lx == nil {
 		d.lx = nn.NewMat(d.Batch, sim.FeatureSize)
+		d.lxn = nn.NewMat(d.Batch, sim.FeatureSize)
 		d.lgrad = nn.NewMat(d.Batch, sim.NumActions)
 		d.lidx = make([]int, d.Batch)
 	}
-	x, grad, idxs := d.lx, d.lgrad, d.lidx
-	// x's rows are fully overwritten below; grad is sparse and must start
-	// from zero.
+	x, xn, grad, idxs := d.lx, d.lxn, d.lgrad, d.lidx
+	// x's and xn's rows are fully overwritten below; grad is sparse and must
+	// start from zero. Terminal transitions bootstrap zero, so their xn rows
+	// are zeroed and the target row discarded — the batch shape stays fixed.
 	for i := range grad.Data {
 		grad.Data[i] = 0
 	}
 	for b := 0; b < d.Batch; b++ {
 		idxs[b] = d.src.Intn(len(d.replay))
-		copy(x.Row(b), d.replay[idxs[b]].Obs)
+		tr := &d.replay[idxs[b]]
+		x.SetRow(b, tr.Obs)
+		if tr.Terminal || tr.NextObs == nil {
+			row := xn.Row(b)
+			for j := range row {
+				row[j] = 0
+			}
+		} else {
+			xn.SetRow(b, tr.NextObs)
+		}
 	}
+	// Online prediction and target evaluation are each one batched GEMM pass
+	// per layer instead of per-sample loops.
 	pred := d.net.Forward(x, true)
+	nextQ := d.target.ForwardBatch(xn, 1)
 	for b := 0; b < d.Batch; b++ {
 		tr := d.replay[idxs[b]]
 		y := tr.Reward
 		if !tr.Terminal {
-			_, nq := d.greedy(d.target, tr.NextObs, tr.NextMask)
+			_, nq := maskedArgmax(nextQ.Row(b), tr.NextMask)
 			y += math.Pow(d.Gamma, float64(tr.Elapsed)) * nq
 		}
 		// Gradient only on the taken action's output.

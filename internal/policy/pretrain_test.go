@@ -104,11 +104,7 @@ func TestTBAPretrainClonesTeacher(t *testing.T) {
 			continue
 		}
 		logits := tba.net.Forward1(obs.Features)
-		mask := make([]bool, sim.NumActions)
-		for i := range mask {
-			mask[i] = obs.Mask[i]
-		}
-		p := softmaxAt(logits, mask, 0)
+		p := softmaxAt(logits, obs.Mask[:], 0)
 		sum += p
 		n++
 	}
@@ -120,7 +116,7 @@ func TestTBAPretrainClonesTeacher(t *testing.T) {
 	}
 }
 
-func softmaxAt(logits []float64, mask []bool, idx int) float64 {
+func softmaxAt(logits []float32, mask []bool, idx int) float64 {
 	p := nn.Softmax(logits, mask)
 	if idx < 0 || idx >= len(p) {
 		return 0

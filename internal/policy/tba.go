@@ -31,6 +31,16 @@ type TBA struct {
 	opt *nn.Adam
 	src *rng.Source
 
+	// Batch-update scratch, reused across chunks (see DESIGN.md §9): bcX
+	// holds observation rows, bcGrad the fused policy-gradient rows, bcProbs
+	// the per-row softmax buffer, bcAdvs the per-transition advantages of
+	// the REINFORCE pass. Never serialized.
+	bcX     *nn.Mat
+	bcGrad  *nn.Mat
+	bcProbs []float64
+	bcAdvs  []float64
+	bcIdx   []int
+
 	// running return baseline
 	baseline float64
 	baseN    int
@@ -82,11 +92,7 @@ func (t *TBA) BeginEpisode(seed int64) { t.src = rng.SplitStable(seed, "tba") }
 // naturally under a stochastic policy, where an argmax would herd them.
 func (t *TBA) sample(obs sim.Observation) int {
 	logits := t.net.Forward1(obs.Features)
-	mask := make([]bool, sim.NumActions)
-	for i := range mask {
-		mask[i] = obs.Mask[i]
-	}
-	return t.src.WeightedChoice(nn.Softmax(logits, mask))
+	return t.src.WeightedChoice(nn.Softmax(logits, obs.Mask[:]))
 }
 
 // Act implements Policy. Observations are collected serially (Observe
@@ -103,14 +109,53 @@ func (t *TBA) Act(env sim.Environment, vacant []int) map[int]sim.Action {
 		rows[i] = obs[i].Features
 	}
 	logits := t.net.ForwardRows(rows, t.Workers)
+	if t.bcProbs == nil {
+		t.bcProbs = make([]float64, sim.NumActions)
+	}
 	for i, id := range vacant {
-		mask := make([]bool, sim.NumActions)
-		for j := range mask {
-			mask[j] = obs[i].Mask[j]
-		}
-		actions[id] = sim.ActionFromIndex(t.src.WeightedChoice(nn.Softmax(logits[i], mask)))
+		probs := nn.SoftmaxInto(logits[i], obs[i].Mask[:], t.bcProbs)
+		actions[id] = sim.ActionFromIndex(t.src.WeightedChoice(probs))
 	}
 	return actions
+}
+
+// gradStep takes one batched policy-gradient step on transitions
+// buf[idxs[start..end)] (idxs nil means buf[start..end) directly): one
+// batched forward, fused per-row gradients, one batched backward, then a
+// clipped optimizer step. advs holds per-selection advantages indexed like
+// idxs (nil means unit advantage — the behavior-cloning case); every row is
+// scaled by scale.
+func (t *TBA) gradStep(buf []Transition, idxs []int, start, end int, advs []float64, scale float64) {
+	n := end - start
+	t.net.ZeroGrad()
+	t.bcX = nn.EnsureMat(t.bcX, n, sim.FeatureSize)
+	at := func(b int) *Transition {
+		if idxs != nil {
+			return &buf[idxs[start+b]]
+		}
+		return &buf[start+b]
+	}
+	for b := 0; b < n; b++ {
+		t.bcX.SetRow(b, at(b).Obs)
+	}
+	logits := t.net.Forward(t.bcX, true)
+	t.bcGrad = nn.EnsureMat(t.bcGrad, n, sim.NumActions)
+	if t.bcProbs == nil {
+		t.bcProbs = make([]float64, sim.NumActions)
+	}
+	for b := 0; b < n; b++ {
+		tr := at(b)
+		adv := 1.0
+		if advs != nil {
+			adv = advs[start+b]
+		}
+		nn.PolicyGradientRowInto(logits.Row(b), tr.Mask[:], tr.Action, adv, 0, scale, t.bcProbs, t.bcGrad.Row(b))
+	}
+	t.net.Backward(t.bcGrad)
+	_, grads := t.net.Params()
+	t.tel.GradNorm.Observe(nn.ClipGrads(grads, 5))
+	t.tel.Steps.Inc()
+	t.opt.Step(t.net)
 }
 
 // Pretrain behavior-clones the actor toward guide's decisions over
@@ -132,25 +177,10 @@ func (t *TBA) PretrainCheckpointed(city *synth.City, guide Policy, episodes, day
 	for i, batch := range bufs {
 		ep := from + i
 		t.BeginEpisode(DemoEpisodeSeed(seed, ep))
-		t.net.ZeroGrad()
-		for i, tr := range batch {
-			logits := t.net.Forward(nn.FromSlice(1, sim.FeatureSize, tr.Obs), true)
-			mask := make([]bool, sim.NumActions)
-			for j := range mask {
-				mask[j] = tr.Mask[j]
-			}
-			pg := nn.PolicyGradient(logits.Row(0), mask, tr.Action, 1.0)
-			t.net.Backward(nn.FromSlice(1, sim.NumActions, pg))
-			if (i+1)%64 == 0 {
-				_, grads := t.net.Params()
-				nn.ClipGrads(grads, 5)
-				t.opt.Step(t.net)
-				t.net.ZeroGrad()
-			}
+		for start := 0; start < len(batch); start += 64 {
+			end := min(start+64, len(batch))
+			t.gradStep(batch, nil, start, end, nil, 1.0)
 		}
-		_, grads := t.net.Params()
-		nn.ClipGrads(grads, 5)
-		t.opt.Step(t.net)
 		t.demo = append(t.demo, batch...)
 		t.demoDone = ep + 1
 		if opts.ShouldSave(t.demoDone, episodes) {
@@ -206,28 +236,25 @@ func (t *TBA) TrainCheckpointed(city *synth.City, episodes, days int, seed int64
 
 		// Demonstration anchor (see FairMove): occasional cloning batches
 		// keep the actor near competent behavior while returns are noisy.
+		if cap(t.bcIdx) < 64 {
+			t.bcIdx = make([]int, 64)
+		}
 		for i := 0; i+64 <= len(t.demo) && i < 20*64; i += 64 {
-			t.net.ZeroGrad()
+			idxs := t.bcIdx[:64]
 			for b := 0; b < 64; b++ {
-				tr := t.demo[t.src.Intn(len(t.demo))]
-				logits := t.net.Forward(nn.FromSlice(1, sim.FeatureSize, tr.Obs), true)
-				mask := make([]bool, sim.NumActions)
-				for j := range mask {
-					mask[j] = tr.Mask[j]
-				}
-				pg := nn.PolicyGradient(logits.Row(0), mask, tr.Action, 1.0/64)
-				t.net.Backward(nn.FromSlice(1, sim.NumActions, pg))
+				idxs[b] = t.src.Intn(len(t.demo))
 			}
-			_, grads := t.net.Params()
-			nn.ClipGrads(grads, 5)
-			t.opt.Step(t.net)
+			t.gradStep(t.demo, idxs, 0, 64, nil, 1.0/64)
 		}
 
 		// REINFORCE update over the episode's decisions with a running
-		// baseline: ∇ = Σ (G − b) ∇ log π(a|s).
-		t.net.ZeroGrad()
-		nUpd := 0
-		for _, tr := range batch {
+		// baseline: ∇ = Σ (G − b) ∇ log π(a|s). The baseline recursion is
+		// network-independent, so a first pass folds every return into it and
+		// records the surviving (non-zero advantage) transitions; the policy
+		// gradients then run as batched 64-row steps over that selection.
+		t.bcIdx = t.bcIdx[:0]
+		t.bcAdvs = t.bcAdvs[:0]
+		for i, tr := range batch {
 			g := tr.Reward
 			t.baseN++
 			t.baseline += (g - t.baseline) / float64(t.baseN)
@@ -235,28 +262,12 @@ func (t *TBA) TrainCheckpointed(city *synth.City, episodes, days int, seed int64
 			if adv == 0 {
 				continue
 			}
-			logits := t.net.Forward(nn.FromSlice(1, sim.FeatureSize, tr.Obs), true)
-			mask := make([]bool, sim.NumActions)
-			for i := range mask {
-				mask[i] = tr.Mask[i]
-			}
-			pg := nn.PolicyGradient(logits.Row(0), mask, tr.Action, adv)
-			gm := nn.FromSlice(1, sim.NumActions, pg)
-			t.net.Backward(gm)
-			nUpd++
-			if nUpd%64 == 0 {
-				_, grads := t.net.Params()
-				t.tel.GradNorm.Observe(nn.ClipGrads(grads, 5))
-				t.tel.Steps.Inc()
-				t.opt.Step(t.net)
-				t.net.ZeroGrad()
-			}
+			t.bcIdx = append(t.bcIdx, i)
+			t.bcAdvs = append(t.bcAdvs, adv)
 		}
-		if nUpd%64 != 0 {
-			_, grads := t.net.Params()
-			t.tel.GradNorm.Observe(nn.ClipGrads(grads, 5))
-			t.tel.Steps.Inc()
-			t.opt.Step(t.net)
+		for start := 0; start < len(t.bcIdx); start += 64 {
+			end := min(start+64, len(t.bcIdx))
+			t.gradStep(batch, t.bcIdx, start, end, t.bcAdvs, 1.0)
 		}
 		t.epDone = ep + 1
 		if opts.ShouldSave(t.epDone, episodes) {
@@ -279,11 +290,7 @@ func (t *TBA) Entropy(obs []sim.Observation) float64 {
 	var sum float64
 	for _, o := range obs {
 		logits := t.net.Forward1(o.Features)
-		mask := make([]bool, sim.NumActions)
-		for i := range mask {
-			mask[i] = o.Mask[i]
-		}
-		sum += nn.Entropy(nn.Softmax(logits, mask))
+		sum += nn.Entropy(nn.Softmax(logits, o.Mask[:]))
 	}
 	return sum / float64(len(obs))
 }

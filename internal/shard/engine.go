@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 )
 
 // Engine is the region-sharded simulation driver. It embeds the shared
@@ -40,6 +41,37 @@ type Engine struct {
 	beginFn, genFn, minuteFn, endFn func(k int)
 	stepActions                     map[int]sim.Action
 	stepMinute                      int
+
+	ptel phaseTel
+}
+
+// phaseTel holds the engine's per-phase wall-clock timers, resolved once in
+// SetTelemetry. They answer "where does a sharded Step spend its time" —
+// begin-slot apply, the serial route-migrants barriers, demand generation and
+// matching, the per-minute sweeps, and end-of-slot drain — which is how the
+// shard-scaling profile in EXPERIMENTS.md was measured. Like every Timer
+// these are wall-clock and excluded from determinism comparisons; nil handles
+// no-op, so an engine without telemetry never reads the clock.
+type phaseTel struct {
+	begin, route, gen, minute, end *telemetry.Timer
+}
+
+// SetTelemetry installs (or, with nil, removes) a metrics registry on both
+// the embedded core (deterministic simulation counters) and the engine's
+// own per-phase timers.
+func (e *Engine) SetTelemetry(r *telemetry.Registry) {
+	e.Core.SetTelemetry(r)
+	if r == nil {
+		e.ptel = phaseTel{}
+		return
+	}
+	e.ptel = phaseTel{
+		begin:  r.Timer("shard.phase.begin_slot_apply"),
+		route:  r.Timer("shard.phase.route_migrants"),
+		gen:    r.Timer("shard.phase.generate_and_match"),
+		minute: r.Timer("shard.phase.run_minute"),
+		end:    r.Timer("shard.phase.end_slot"),
+	}
 }
 
 // Engine implements the full environment surface.
@@ -79,20 +111,34 @@ func (e *Engine) Step(actions map[int]sim.Action) {
 	}
 	c := e.Core
 	e.stepActions = actions
+	stop := e.ptel.begin.Start()
 	e.each(e.beginFn)
+	stop()
 	e.stepActions = nil
+	stop = e.ptel.route.Start()
 	c.RouteMigrants()
+	stop()
+	stop = e.ptel.gen.Start()
 	e.each(e.genFn)
 	c.SnapshotLoads()
+	stop()
 	start, slotLen := c.Now(), c.SlotLen()
 	for m := start; m < start+slotLen; m++ {
 		e.stepMinute = m
+		stop = e.ptel.minute.Start()
 		e.each(e.minuteFn)
+		stop()
+		stop = e.ptel.route.Start()
 		c.RouteMigrants()
+		stop()
 	}
+	stop = e.ptel.end.Start()
 	e.each(e.endFn)
+	stop()
+	stop = e.ptel.route.Start()
 	c.RouteMigrants()
 	c.FinishSlot()
+	stop()
 }
 
 // each runs a phase once per kernel, returning only after all finish.
