@@ -10,12 +10,12 @@ GO ?= go
 # the sharded-engine driver — the packages whose tests ARE the regression
 # harness (golden digests, fuzz corpora, shard-invariance battery):
 # uncovered code there is unpinned behavior.
-COVER_PKGS = ./internal/scenario/ ./internal/trace/ ./internal/checkpoint/ ./internal/shard/ ./internal/invariant/
+COVER_PKGS = ./internal/scenario/ ./internal/trace/ ./internal/checkpoint/ ./internal/shard/ ./internal/invariant/ ./internal/serve/
 COVER_FLOOR = 70
 
-.PHONY: ci vet build test race cover alloc-gate smoke resume-smoke shard-smoke battery fuzz-battery bench-record fuzz bench
+.PHONY: ci vet build test race cover alloc-gate smoke resume-smoke shard-smoke serve-smoke soak battery fuzz-battery bench-record fuzz bench
 
-ci: vet build test race cover alloc-gate smoke resume-smoke shard-smoke battery
+ci: vet build test race cover alloc-gate smoke resume-smoke shard-smoke serve-smoke battery
 
 vet:
 	$(GO) vet ./...
@@ -86,6 +86,21 @@ resume-smoke:
 	@rm -rf /tmp/fairmove-resume-smoke
 	@echo "resume-smoke: resumed run byte-identical to unbroken run"
 
+# Online-dispatch service smoke: build the real binaries, start
+# `fairmove serve`, replay two slots of recorded events through
+# `datagen stream`, assert the served decision digest equals the batch
+# engine's, then SIGTERM and require a clean drain (exit 0, digest in the
+# drain banner). The short-mode tiers of the same batteries (equivalence,
+# hot swap, backpressure) run in `make test` / `make race`.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 .
+
+# Long backpressure soak (not part of ci): the same invariants the short
+# soak checks — every batch resolves 202 or 429, no admitted event dropped,
+# queue empty after drain — at a quarter-million events against a tiny queue.
+soak:
+	$(GO) test -run TestServeSoak -soak-events 250000 -timeout 900s -count=1 ./internal/serve/
+
 # Property-based robustness battery: 64 random fault compositions from the
 # full scenario zoo, each run on the sequential engine and the sharded
 # engine at shards=1 and 4, every invariant checked, shard-ladder digests
@@ -107,6 +122,8 @@ fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzDecodeEvents -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzEventRoundTrip -fuzztime 30s
 	$(GO) test ./internal/checkpoint/ -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/serve/ -fuzz FuzzHTTPIngest -fuzztime 30s
+	$(GO) test ./internal/serve/ -fuzz FuzzParseBatch -fuzztime 30s
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
@@ -125,3 +142,4 @@ bench-record:
 	$(GO) test -run TestRecordBatteryBench -recordbench -timeout 1800s .
 	$(GO) test -run TestRecordHotpathBench -recordbench -benchscale=full -timeout 1800s .
 	$(GO) test -run TestRecordNNBench -recordbench -benchscale=full -timeout 1800s .
+	$(GO) test -run TestRecordServeBench -recordbench -benchscale=full -timeout 1800s .

@@ -10,6 +10,12 @@
 // Usage:
 //
 //	datagen [-out DIR] [-seed N] [-days N] [-fleet N] [-regions N] [-stations N]
+//	datagen stream [-url URL] [-seed N] [-fleet N] [-slots N] [-rps R] [-batch N] [-digest]
+//
+// `datagen stream` records the same ground-truth behavior as NDJSON ingest
+// events (the online analogue of the CSV datasets) and either writes them to
+// stdout or replays them into a running `fairmove serve` at -rps events per
+// second, honoring the service's 429 backpressure protocol.
 package main
 
 import (
@@ -27,6 +33,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stream" {
+		if err := runStream(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "datagen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	out := flag.String("out", "dataset", "output directory")
 	seed := flag.Int64("seed", 42, "master random seed")
 	days := flag.Int("days", 1, "days of operation to record")

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	fairmove "repro"
+	"repro/internal/serve"
+)
+
+// runStream implements `datagen stream`: instead of writing the Table I
+// datasets to CSV files, it records the same ground-truth event stream in
+// the serve ingest schema (NDJSON GPS fixes and trip requests) and either
+// writes it to stdout or replays it into a running `fairmove serve` at a
+// target event rate. The feed is deterministic in (seed, fleet): streaming
+// the same seed twice produces byte-identical event batches, which is what
+// the serve equivalence tests key on.
+func runStream(args []string) error {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	url := fs.String("url", "", "base URL of a running `fairmove serve` (empty: NDJSON to stdout)")
+	seed := fs.Int64("seed", 42, "master random seed; must match the server's -seed for its clock to line up")
+	fleet := fs.Int("fleet", 300, "fleet size; must match the server's -fleet")
+	slots := fs.Int("slots", 0, "slots of events to stream (0 = the full evaluation horizon)")
+	rps := fs.Float64("rps", 0, "target events per second (0 = as fast as the server admits)")
+	batch := fs.Int("batch", 256, "events per POST /ingest batch")
+	digest := fs.Bool("digest", false, "after streaming, fetch and print the server's decision digest")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Build the exact city and evaluation options the server's -seed/-fleet
+	// resolve to, so recorded timestamps sweep the server's horizon.
+	cfg := fairmove.DefaultConfig(*seed)
+	cfg.Fleet = *fleet
+	sys, err := fairmove.NewSystem(cfg)
+	if err != nil {
+		return err
+	}
+	events := serve.RecordFeed(sys.City(), sys.EvalOptions(), sys.EvalSeed(), *slots)
+	if *url == "" {
+		body, err := serve.EncodeBatch(events)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := &serve.Client{URL: *url, BatchSize: *batch}
+	start := time.Now()
+	st, err := client.Stream(ctx, events, *rps)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	rate := float64(st.Events) / st.Elapsed.Seconds()
+	fmt.Fprintf(os.Stderr, "datagen stream: %d events in %d batches, %d backpressure retries, %.0f ev/s, %s\n",
+		st.Events, st.Batches, st.Rejected, rate, time.Since(start).Round(time.Millisecond))
+	if *digest {
+		slots, decisions, dg, err := client.Digest(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("slots=%d decisions=%d digest=%s\n", slots, decisions, dg)
+	}
+	return nil
+}

@@ -7,11 +7,16 @@
 //	                 [-save-policy FILE] [-model FILE]
 //	fairmove eval    [-seed N] [-fleet N] [-method M] [-load-policy FILE] [-scenario SPEC.json] [-json]
 //	fairmove compare [-seed N] [-fleet N] [-alpha A] [-load-policy FILE] [-scenario SPEC.json] [-json]
+//	fairmove serve   [-seed N] [-fleet N] [-method M] [-load-policy FILE] [-scenario SPEC.json]
+//	                 [-addr HOST:PORT] [-queue-cap N] [-slot-every D] [-drain-timeout D]
 //
 // `train` trains CMA2C and optionally saves the networks; `eval` evaluates
 // one strategy (loading a saved policy for FairMove if given); `compare`
 // runs all six strategies on identical demand and prints the paper's
-// headline metrics.
+// headline metrics; `serve` runs the online dispatch service (HTTP ingest of
+// GPS/request events, per-slot displacement decisions, atomic policy hot
+// swap via POST /policy/reload, graceful drain on SIGTERM — see DESIGN.md
+// §10 and internal/serve).
 //
 // -checkpoint-dir enables crash-safe checkpoints at episode boundaries;
 // a killed run resumes byte-identically by re-running the same command with
@@ -56,6 +61,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -67,7 +74,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: fairmove <train|eval|compare> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: fairmove <train|eval|compare|serve> [flags]")
 }
 
 func commonFlags(fs *flag.FlagSet) (*int64, *int, *float64) {

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	fairmove "repro"
+	"repro/internal/serve"
+	"repro/internal/telemetry"
+)
+
+// cmdServe runs the online dispatch service: it loads (or defaults to) a
+// policy, builds the evaluation-protocol environment for the same seed, and
+// serves displacement decisions over HTTP while ingested GPS/request events
+// advance the slot clock. SIGINT/SIGTERM trigger a graceful drain: queued
+// events are absorbed, in-flight slots finish, the final decision digest is
+// printed, and only then does the process exit.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	seed, fleet, alpha := commonFlags(fs)
+	method := fs.String("method", "GT", "strategy to serve: GT, SD2, or FairMove (FairMove needs -load-policy)")
+	loadPolicy := fs.String("load-policy", "", "FairMove checkpoint file to serve (and the hot-swap source format)")
+	scenarioPath := fs.String("scenario", "", "JSON scenario spec to condition the served horizon on")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port; the chosen address is printed)")
+	queueCap := fs.Int("queue-cap", serve.DefaultQueueCap, "ingest queue capacity in events; full queue answers 429")
+	maxBatch := fs.Int("max-batch", serve.DefaultMaxBatch, "largest accepted ingest batch in events")
+	history := fs.Int("history", serve.DefaultHistory, "decision slots retained for GET /decisions")
+	slotEvery := fs.Duration("slot-every", 0, "advance one slot per wall-clock interval (0 = event-watermark/step-driven only)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "bound on graceful drain at shutdown")
+	telemetryOn, pprofAddr := observeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, finish := observe(*telemetryOn, *pprofAddr)
+	defer finish()
+
+	s, err := newSystem(*seed, *fleet, *alpha, 0, 0)
+	if err != nil {
+		return err
+	}
+	s.SetTelemetry(reg)
+	if err := applyScenario(s, *scenarioPath); err != nil {
+		return err
+	}
+	if *loadPolicy != "" {
+		if err := s.LoadPolicy(*loadPolicy); err != nil {
+			return err
+		}
+	}
+	m := fairmove.Method(*method)
+	switch m {
+	case fairmove.GT, fairmove.SD2:
+	case fairmove.FairMove:
+		if *loadPolicy == "" {
+			return fmt.Errorf("serve -method FairMove needs -load-policy (train once, serve many)")
+		}
+	default:
+		return fmt.Errorf("serve supports GT, SD2, and FairMove, not %q", m)
+	}
+	pol, err := s.PolicyFor(m)
+	if err != nil {
+		return err
+	}
+
+	srvReg := reg
+	if srvReg == nil {
+		// /metrics should work even when -telemetry (the stderr dump) is off.
+		srvReg = telemetry.NewRegistry()
+	}
+	srv, err := serve.New(serve.Config{
+		Env:       s.EvalEnv(),
+		Policy:    pol,
+		Seed:      s.EvalSeed(),
+		QueueCap:  *queueCap,
+		MaxBatch:  *maxBatch,
+		History:   *history,
+		SlotEvery: *slotEvery,
+		Reload:    s.LoadPolicyInto,
+		Telemetry: srvReg,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fairmove serve: listening on http://%s (policy %s, seed %d)\n",
+		ln.Addr(), pol.Name(), *seed)
+	srv.Start()
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	select {
+	case err := <-errCh:
+		return err
+	case sg := <-sigCh:
+		fmt.Printf("fairmove serve: %v: draining\n", sg)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	slots, decisions, digest := srv.DigestState()
+	fmt.Printf("fairmove serve: drained cleanly: %d slots, %d decisions, digest %s\n",
+		slots, decisions, digest)
+	return nil
+}

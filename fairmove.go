@@ -231,6 +231,51 @@ func NewSystem(cfg Config) (*System, error) {
 // Config returns the (default-filled) configuration.
 func (s *System) Config() Config { return s.cfg }
 
+// City returns the synthetic city this system simulates. The city is
+// read-only during simulation; callers may share it across environments.
+func (s *System) City() *synth.City { return s.city }
+
+// EvalSeed returns the seed evaluation environments are reset with. It is
+// offset from the scenario seed so evaluation demand differs from training
+// demand; anything that must be byte-identical to Evaluate (the serve
+// equivalence contract) has to reset with this exact value.
+func (s *System) EvalSeed() int64 { return s.cfg.Seed + 1000 }
+
+// EvalOptions returns the evaluation protocol options (horizon plus warmup).
+// A feed recorded with these options covers exactly the horizon an
+// evaluation environment runs.
+func (s *System) EvalOptions() sim.Options { return s.evalOptions() }
+
+// EvalEnv builds a fresh evaluation environment — sequential or sharded per
+// Config.Shards, with the installed scenario, telemetry, and recorder
+// attached. Each call returns an independent environment; the caller owns
+// stepping it.
+func (s *System) EvalEnv() sim.Environment { return s.newEvalEnv() }
+
+// PolicyFor returns the policy implementing a method, training it first if
+// the method is learned and no policy has been trained or loaded yet.
+func (s *System) PolicyFor(m Method) (policy.Policy, error) { return s.policyFor(m) }
+
+// LoadPolicyInto reads a FairMove checkpoint into a fresh policy instance,
+// leaving the system's own policy untouched. Corrupt, truncated, or
+// fingerprint-mismatched files fail closed with an error and no policy.
+// This is the validation step behind serve's hot swap: the running policy
+// keeps serving until the replacement loads completely.
+func (s *System) LoadPolicyInto(path string) (policy.Policy, error) {
+	ccfg := core.DefaultConfig(s.cfg.Alpha, s.cfg.Seed)
+	ccfg.Workers = s.cfg.Workers
+	fm, err := core.New(ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("fairmove: %w", err)
+	}
+	fm.SetEnvBuilder(s.envBuilder())
+	fm.SetTelemetry(s.tel)
+	if _, err := checkpoint.ReadFile(path, fm); err != nil {
+		return nil, fmt.Errorf("fairmove: %w", err)
+	}
+	return fm, nil
+}
+
 // SetScenario conditions all subsequent Evaluate/CompareAll calls on a
 // perturbation scenario (station outages, demand surges, GPS dropouts, …),
 // validated against this system's city. Every method then scores under the

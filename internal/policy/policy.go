@@ -208,12 +208,14 @@ func PolicyChooser(env sim.Environment, pol Policy) Chooser {
 // Evaluate runs policy p over a fresh environment seeded with seed and
 // returns the accounting. All strategies in the evaluation are compared on
 // the same (city, seed) pair, hence on an identical demand realization.
+//
+// It is a thin loop over Runner — the same slot driver the online dispatch
+// service steps from its event feed — so batch and served trajectories are
+// byte-identical by construction.
 func Evaluate(p Policy, env sim.Environment, seed int64) *sim.Results {
-	env.Reset(seed)
-	p.BeginEpisode(seed)
-	for !env.Done() {
-		vacant := env.VacantTaxis()
-		env.Step(p.Act(env, vacant))
+	r := NewRunner(p, env, seed)
+	for !r.Done() {
+		r.StepSlot()
 	}
-	return env.Results()
+	return r.Results()
 }

@@ -1,0 +1,94 @@
+package policy
+
+import (
+	"repro/internal/sim"
+)
+
+// Decision is one per-taxi displacement decision of a slot — the unit the
+// online dispatch service returns to callers and the batch evaluation loop
+// applies to the environment. Region is the taxi's region at decision time
+// (before the action executes).
+type Decision struct {
+	Slot   int
+	Taxi   int
+	Region int
+	Action sim.Action
+}
+
+// Runner owns the slot-by-slot decision loop: ask the policy for one action
+// per vacant taxi, apply them, advance the environment one slot. It is the
+// seam the serve refactor split out of Evaluate — the batch path
+// (policy.Evaluate) and the online dispatch service (internal/serve) drive
+// the identical loop, so a served trajectory is byte-identical to a batch
+// run of the same (policy, env, seed) by construction, and the
+// serve-equivalence golden test pins it.
+//
+// A Runner is single-goroutine, like the Environment it wraps.
+type Runner struct {
+	env sim.Environment
+	pol Policy
+
+	// decisions is the reused per-slot output buffer: StepSlot overwrites it
+	// on every call, so callers that retain decisions must copy them.
+	decisions []Decision
+	slots     int
+}
+
+// NewRunner resets env with seed, begins the policy's episode, and returns a
+// runner positioned at slot 0. The reset/begin order matches what Evaluate
+// has always done, which is what keeps the two paths byte-identical.
+func NewRunner(p Policy, env sim.Environment, seed int64) *Runner {
+	env.Reset(seed)
+	p.BeginEpisode(seed)
+	return &Runner{env: env, pol: p}
+}
+
+// Env returns the wrapped environment (read-only use between steps).
+func (r *Runner) Env() sim.Environment { return r.env }
+
+// Policy returns the currently installed policy.
+func (r *Runner) Policy() Policy { return r.pol }
+
+// SetPolicy atomically (from the driving goroutine's point of view: between
+// slots) replaces the policy for all subsequent slots — the hot-swap seam.
+// The new policy's episode begins at the given seed so learners with
+// per-episode rng streams (CMA2C exploration) are initialized.
+func (r *Runner) SetPolicy(p Policy, seed int64) {
+	p.BeginEpisode(seed)
+	r.pol = p
+}
+
+// Done reports whether the horizon has been reached.
+func (r *Runner) Done() bool { return r.env.Done() }
+
+// Slots returns how many slots StepSlot has completed.
+func (r *Runner) Slots() int { return r.slots }
+
+// StepSlot asks the policy for this slot's actions, records one Decision per
+// vacant taxi (missing policy entries default to Stay, exactly as Step
+// treats them), applies the actions, and advances the environment one slot.
+// The returned slice is reused by the next call.
+func (r *Runner) StepSlot() []Decision {
+	slot := r.env.Slot()
+	vacant := r.env.VacantTaxis()
+	acts := r.pol.Act(r.env, vacant)
+	r.decisions = r.decisions[:0]
+	for _, id := range vacant {
+		a, ok := acts[id]
+		if !ok {
+			a = sim.Action{Kind: sim.Stay}
+		}
+		r.decisions = append(r.decisions, Decision{
+			Slot:   slot,
+			Taxi:   id,
+			Region: r.env.TaxiRegion(id),
+			Action: a,
+		})
+	}
+	r.env.Step(acts)
+	r.slots++
+	return r.decisions
+}
+
+// Results returns the environment's accounting.
+func (r *Runner) Results() *sim.Results { return r.env.Results() }

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Event kinds of the ingest stream. The schema is the online analogue of the
+// paper's Section II Table I datasets as cmd/datagen emits them: per-vehicle
+// GPS fixes and trip requests. Timestamps are absolute simulation minutes,
+// the same clock every engine and trace record uses.
+const (
+	// KindGPS is one vehicle position fix (Table I's e-taxi GPS stream).
+	KindGPS = "gps"
+	// KindRequest is one trip request originating in a region (the demand
+	// the paper infers from its transaction stream).
+	KindRequest = "request"
+)
+
+// Event is one row of the ingest stream. Fields beyond Kind and TimeMin are
+// kind-specific: GPS fixes carry vehicle/position/speed/occupancy, requests
+// carry the origin region.
+type Event struct {
+	Kind      string  `json:"kind"`
+	TimeMin   int     `json:"time_min"`
+	VehicleID int     `json:"vehicle_id,omitempty"`
+	Lng       float64 `json:"lng,omitempty"`
+	Lat       float64 `json:"lat,omitempty"`
+	SpeedKmh  float64 `json:"speed_kmh,omitempty"`
+	Occupied  bool    `json:"occupied,omitempty"`
+	Region    int     `json:"region,omitempty"`
+}
+
+// Validate reports schema errors a single decoded event can carry.
+func (e Event) Validate() error {
+	switch e.Kind {
+	case KindGPS, KindRequest:
+	default:
+		return fmt.Errorf("serve: unknown event kind %q", e.Kind)
+	}
+	if e.TimeMin < 0 {
+		return fmt.Errorf("serve: negative time_min %d", e.TimeMin)
+	}
+	if e.Kind == KindGPS && e.VehicleID < 0 {
+		return fmt.Errorf("serve: negative vehicle_id %d", e.VehicleID)
+	}
+	if e.Kind == KindRequest && e.Region < 0 {
+		return fmt.Errorf("serve: negative region %d", e.Region)
+	}
+	return nil
+}
+
+// ParseBatch decodes an NDJSON ingest body: one JSON event object per line,
+// blank lines ignored, at most maxEvents events. The decoder is strict —
+// unknown fields, unknown kinds, negative timestamps, and trailing garbage
+// all fail the whole batch — because a batch is accepted or rejected
+// atomically (see Server ingest): a half-valid batch must never be half
+// applied. Out-of-order timestamps within and across batches are legal; the
+// server folds them into a high-watermark.
+func ParseBatch(body []byte, maxEvents int) ([]Event, error) {
+	if maxEvents <= 0 {
+		maxEvents = DefaultMaxBatch
+	}
+	var events []Event
+	for lineNo := 1; len(body) > 0; lineNo++ {
+		line := body
+		if i := bytes.IndexByte(body, '\n'); i >= 0 {
+			line, body = body[:i], body[i+1:]
+		} else {
+			body = nil
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		if len(events) >= maxEvents {
+			return nil, fmt.Errorf("serve: batch exceeds %d events", maxEvents)
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("serve: line %d: %w", lineNo, err)
+		}
+		// A second document on the same line is trailing garbage.
+		if dec.More() {
+			return nil, fmt.Errorf("serve: line %d: trailing data after event object", lineNo)
+		}
+		if err := ev.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: line %d: %w", lineNo, err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// EncodeBatch renders events as the NDJSON body ParseBatch reads back.
+func EncodeBatch(events []Event) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,277 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/sim"
+)
+
+// The HTTP API battery: every endpoint's documented statuses and payload
+// shapes, exercised through the same mux the binary mounts, plus the client
+// wrappers (Digest, Healthz, PostBatch's 429 leg) the stream tooling uses.
+
+func apiServer(t *testing.T, reload ReloadFunc) (*Server, *httptest.Server) {
+	t.Helper()
+	const seed = 41
+	city := microCity(t, seed)
+	env := sim.New(city, sim.DefaultOptions(1), seed)
+	srv, err := New(Config{Env: env, Policy: policy.NewGroundTruth(), Seed: seed, Reload: reload, History: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPStepAndDecisions(t *testing.T) {
+	srv, ts := apiServer(t, nil)
+	resp, body := postJSON(t, ts.URL+"/step", `{"slots":3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/step: %s: %s", resp.Status, body)
+	}
+	var step stepResponse
+	if err := json.Unmarshal(body, &step); err != nil {
+		t.Fatal(err)
+	}
+	if step.Stepped != 3 || step.Slot != 3 || step.Done {
+		t.Fatalf("/step answered %+v, want stepped=3 slot=3 done=false", step)
+	}
+	// Empty body steps one slot.
+	if resp, body := postJSON(t, ts.URL+"/step", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/step with empty body: %s: %s", resp.Status, body)
+	}
+	// Malformed body is a 400.
+	if resp, _ := postJSON(t, ts.URL+"/step", `{"slots":`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/step with bad body: %s, want 400", resp.Status)
+	}
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+	resp, body = get("/decisions")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/decisions: %s: %s", resp.Status, body)
+	}
+	var latest decisionsResponse
+	if err := json.Unmarshal(body, &latest); err != nil {
+		t.Fatal(err)
+	}
+	if latest.Slot != 3 || len(latest.Decisions) == 0 {
+		t.Fatalf("/decisions answered slot %d with %d decisions, want slot 3 non-empty", latest.Slot, len(latest.Decisions))
+	}
+	for _, d := range latest.Decisions {
+		if d.Action == "" || d.Slot != latest.Slot {
+			t.Fatalf("malformed decision %+v", d)
+		}
+	}
+	if resp, _ = get("/decisions?slot=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/decisions?slot=1: %s, want 200 inside retained window", resp.Status)
+	}
+	if resp, _ = get("/decisions?slot=99"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/decisions?slot=99: %s, want 404 for an unstepped slot", resp.Status)
+	}
+	if resp, _ = get("/decisions?slot=banana"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("/decisions?slot=banana: %s, want 400", resp.Status)
+	}
+	if resp, _ = get("/decisions?slot=999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/decisions far future: %s, want 404", resp.Status)
+	}
+
+	resp, body = get("/decisions/digest")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/decisions/digest: %s", resp.Status)
+	}
+	var dig digestResponse
+	if err := json.Unmarshal(body, &dig); err != nil {
+		t.Fatal(err)
+	}
+	wantSlots, wantDecs, wantDigest := srv.DigestState()
+	if dig.Slots != wantSlots || dig.Decisions != wantDecs || dig.Digest != wantDigest {
+		t.Fatalf("/decisions/digest %+v, server state (%d,%d,%s)", dig, wantSlots, wantDecs, wantDigest)
+	}
+
+	resp, body = get("/metrics")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "serve.slots") {
+		t.Fatalf("/metrics: %s: %s", resp.Status, body)
+	}
+	resp, body = get("/metrics?format=json")
+	if resp.StatusCode != http.StatusOK || !json.Valid(body) {
+		t.Fatalf("/metrics?format=json: %s: %s", resp.Status, body)
+	}
+}
+
+func TestHTTPHealthzLifecycle(t *testing.T) {
+	srv, ts := apiServer(t, nil)
+	client := &Client{URL: ts.URL}
+	ctx := context.Background()
+	status, slot, _, done, err := client.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "ok" || slot != 0 || done {
+		t.Fatalf("fresh healthz = %q slot=%d done=%v, want ok/0/false", status, slot, done)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	status, _, _, _, err = client.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "draining" {
+		t.Fatalf("healthz after drain = %q, want draining", status)
+	}
+	// /step during drain is a 503.
+	if resp, _ := postJSON(t, ts.URL+"/step", `{"slots":1}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/step during drain: %s, want 503", resp.Status)
+	}
+}
+
+func TestHTTPReload(t *testing.T) {
+	const seed = 41
+	dir := t.TempDir()
+	good := writeFairMoveCheckpoint(t, dir, "good.fmck", 0.6, seed)
+	srv, ts := apiServer(t, fairmoveReload(0.6, seed))
+
+	// Bad request shapes first.
+	if resp, _ := postJSON(t, ts.URL+"/policy/reload", `{`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed reload body: %s, want 400", resp.Status)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/policy/reload", `{}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty path: %s, want 400", resp.Status)
+	}
+	// Validation failure: 422, old policy kept.
+	if resp, _ := postJSON(t, ts.URL+"/policy/reload", fmt.Sprintf(`{"path":%q}`, dir+"/missing.fmck")); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("missing checkpoint: %s, want 422", resp.Status)
+	}
+	if got := srv.PolicyName(); got != "GT" {
+		t.Fatalf("failed HTTP reload replaced the policy: %q", got)
+	}
+	// Success: 200 with the new policy name.
+	resp, body := postJSON(t, ts.URL+"/policy/reload", fmt.Sprintf(`{"path":%q}`, good))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid reload: %s: %s", resp.Status, body)
+	}
+	var rr reloadResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Policy != "FairMove" {
+		t.Fatalf("reload answered policy %q, want FairMove", rr.Policy)
+	}
+	// Reload during drain: 409.
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/policy/reload", fmt.Sprintf(`{"path":%q}`, good)); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("reload during drain: %s, want 409", resp.Status)
+	}
+}
+
+// TestHTTPReloadNotConfigured: without a ReloadFunc the endpoint answers 405.
+func TestHTTPReloadNotConfigured(t *testing.T) {
+	_, ts := apiServer(t, nil)
+	if resp, _ := postJSON(t, ts.URL+"/policy/reload", `{"path":"x"}`); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("reload without ReloadFunc: %s, want 405", resp.Status)
+	}
+}
+
+// TestClientBackpressureRetry: PostBatch surfaces the 429 + Retry-After leg
+// and Stream absorbs it without losing the batch.
+func TestClientBackpressureRetry(t *testing.T) {
+	const seed = 43
+	city := microCity(t, seed)
+	env := sim.New(city, sim.DefaultOptions(1), seed)
+	srv, err := New(Config{Env: env, Policy: policy.NewGroundTruth(), Seed: seed, QueueCap: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: the queue stays full, so the second batch must 429.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &Client{URL: ts.URL, BatchSize: 4, MaxRetries: 2}
+	ctx := context.Background()
+	if _, bp, err := client.PostBatch(ctx, []Event{gpsAt(1), gpsAt(2), gpsAt(3), gpsAt(4)}); err != nil || bp {
+		t.Fatalf("first batch: backpressured=%v err=%v", bp, err)
+	}
+	after, bp, err := client.PostBatch(ctx, []Event{gpsAt(5)})
+	if err != nil || !bp {
+		t.Fatalf("second batch into a full queue: backpressured=%v err=%v", bp, err)
+	}
+	if after <= 0 {
+		t.Fatalf("429 Retry-After hint = %v, want positive", after)
+	}
+	// Stream against the wedged queue exhausts its bounded retries.
+	if _, err := client.Stream(ctx, []Event{gpsAt(6)}, 0); err == nil {
+		t.Fatal("Stream against a permanently full queue must fail after MaxRetries")
+	}
+	// Once the driver runs, the same stream goes through (paced, to cover
+	// the rps leg of Stream).
+	srv.Start()
+	st, err := client.Stream(ctx, []Event{gpsAt(6), gpsAt(7)}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Events != 2 {
+		t.Fatalf("streamed %d events, want 2", st.Events)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSlotEveryTicker: SlotEvery advances slots on the wall clock with no
+// feed and no /step calls.
+func TestSlotEveryTicker(t *testing.T) {
+	const seed = 44
+	city := microCity(t, seed)
+	env := sim.New(city, sim.DefaultOptions(1), seed)
+	srv, err := New(Config{Env: env, Policy: policy.NewGroundTruth(), Seed: seed, SlotEvery: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Slot() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ticker advanced only %d slots in 10s", srv.Slot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

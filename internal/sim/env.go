@@ -342,6 +342,9 @@ func (e *Env) Slot() int { return e.nowMin / e.slotLen }
 // SlotLen returns the slot length in minutes.
 func (e *Env) SlotLen() int { return e.slotLen }
 
+// HorizonMin returns the simulation horizon in absolute minutes.
+func (e *Env) HorizonMin() int { return e.endMin }
+
 // Done reports whether the horizon has been reached.
 func (e *Env) Done() bool { return e.nowMin >= e.endMin }
 

@@ -22,6 +22,10 @@ type Environment interface {
 	Slot() int
 	// SlotLen returns the slot length in minutes.
 	SlotLen() int
+	// HorizonMin returns the simulation horizon in absolute minutes: Done
+	// becomes true once Now reaches it. External drivers (the online dispatch
+	// service) use it to know when a feed has covered the whole run.
+	HorizonMin() int
 	// Done reports whether the horizon has been reached.
 	Done() bool
 	// Reset restores the initial fleet and clears all accounting.

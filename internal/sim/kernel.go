@@ -496,6 +496,9 @@ func (c *Core) Slot() int { return c.nowMin / c.slotLen }
 // SlotLen returns the slot length in minutes.
 func (c *Core) SlotLen() int { return c.slotLen }
 
+// HorizonMin returns the simulation horizon in absolute minutes.
+func (c *Core) HorizonMin() int { return c.endMin }
+
 // Done reports whether the horizon has been reached.
 func (c *Core) Done() bool { return c.nowMin >= c.endMin }
 
